@@ -1,0 +1,34 @@
+"""Benchmark fixtures: one world per session, regenerated artifacts per test.
+
+Each benchmark regenerates one of the paper's figures/tables against the
+simulated world and asserts the paper's *shape* claims (who wins, rough
+factors, crossovers) — absolute values are expected to differ since the
+substrate is a scaled simulation, not the authors' testbed.
+"""
+
+import pytest
+
+from repro.scenario import PaperWorld
+
+BENCH_SEED = 2014
+BENCH_SCALE = 0.002
+
+
+@pytest.fixture(scope="session")
+def world():
+    return PaperWorld.build(seed=BENCH_SEED, scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def parsed_monlist(world):
+    from repro.analysis import parse_sample
+
+    return [parse_sample(s) for s in world.onp.monlist_samples]
+
+
+@pytest.fixture(scope="session")
+def victim_report(world, parsed_monlist):
+    from repro.analysis import analyze_dataset
+    from repro.attack import ONP_PROBER_IP
+
+    return analyze_dataset(parsed_monlist, onp_ip=ONP_PROBER_IP)

@@ -1,0 +1,43 @@
+"""Figure 1: NTP and DNS fractions of global Internet traffic.
+
+Paper: NTP rises nearly three orders of magnitude from ~0.001% of traffic
+in November 2013 to ~1% at the February 11 peak — surpassing DNS's steady
+~0.15% — then falls back to ~0.1% by May.
+"""
+
+from repro.analysis import peak_traffic_date, traffic_fractions
+
+
+def test_fig01_global_traffic(benchmark, world):
+    series = benchmark(traffic_fractions, world.arbor)
+
+    dates = [d for d, _, _ in series]
+    ntp = {d: f for d, f, _ in series}
+    dns = {d: f for d, _, f in series}
+
+    november = [ntp[d] for d in dates if d.startswith("2013-11")]
+    peak = max(ntp.values())
+    late_april = [ntp[d] for d in dates if d >= "2014-04-20"]
+
+    # Three-order-of-magnitude rise (allow two-plus at simulation scale).
+    assert peak > 100 * max(november)
+    # Peak lands in the first half of February, around the OVH event.
+    peak_date = peak_traffic_date(world.arbor)
+    assert "2014-02-0" in peak_date or "2014-02-1" in peak_date
+    # NTP surpasses DNS at peak but not in November.
+    peak_day = max(dates, key=lambda d: ntp[d])
+    assert ntp[peak_day] > dns[peak_day]
+    assert ntp[dates[0]] < dns[dates[0]]
+    # Post-peak decline to an intermediate level: well below peak, still
+    # above the November baseline (paper: ~0.1% vs 1% vs 0.001%).  At
+    # simulation scale the late series is lumpy — a handful of heavy
+    # attacks dominate single days — so the intermediate level is asserted
+    # via both the mean and the maximum.
+    late_mean = sum(late_april) / len(late_april)
+    assert late_mean < peak / 3
+    assert late_mean > 1.2 * max(november)
+    assert max(late_april) > 3 * max(november)
+    # DNS hovers near 0.15% throughout.
+    assert all(0.0008 < f < 0.0025 for f in dns.values())
+
+    print(f"\nFig1: Nov={max(november):.2e}  peak={peak:.2e} on {peak_date}  late-Apr={late_mean:.2e}")

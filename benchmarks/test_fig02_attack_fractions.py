@@ -1,0 +1,36 @@
+"""Figure 2: fraction of monthly global DDoS attacks that are NTP-based.
+
+Paper: NTP is absent in November (0.07% of attacks), rises to dominate
+Medium (2-20 Gbps) and Large (>20 Gbps) attacks in February-March (~0.6-0.7
+of each), and declines in April below February levels.
+"""
+
+from repro.analysis import attack_fraction_rows
+
+
+def test_fig02_attack_fractions(benchmark, world):
+    rows = benchmark(attack_fraction_rows, world.arbor)
+    by_month = {r.month: r for r in rows}
+
+    november = by_month["2013-11"]
+    february = by_month["2014-02"]
+    march = by_month["2014-03"]
+    april = by_month["2014-04"]
+
+    # November: NTP not on the radar.
+    assert november.overall < 0.01
+    assert november.medium < 0.05 and november.large < 0.05
+    # February: NTP dominates the medium bin and is heavy in large.
+    assert february.medium > 0.40
+    assert max(february.large, march.large) > 0.40
+    # The majority-of-medium claim holds in at least one of Feb/Mar.
+    assert max(february.medium, march.medium) > 0.5
+    # Small attacks stay majority non-NTP throughout.
+    assert all(r.small < 0.35 for r in rows)
+    # April declines from the February level.
+    assert april.overall < february.overall
+    assert april.medium < february.medium
+
+    print("\nFig2 (month: small/medium/large/all):")
+    for r in rows:
+        print(f"  {r.month}: {r.small:.2f} / {r.medium:.2f} / {r.large:.2f} / {r.overall:.3f}")

@@ -1,0 +1,44 @@
+"""Figure 3: monlist amplifier counts at four aggregation levels, plus the
+Merit and FRGP/CSU subsets.
+
+Paper: the global pool falls from 1.405M IPs (Jan 10) through 677K (Jan 24)
+to a ~110K plateau from mid-March — a 92% IP-level reduction, but only 72%
+at /24, 59% at routed-block, and 55% at AS level.  The local subsets shrink
+too (Merit via trouble tickets; CSU secured entirely on Jan 24).
+"""
+
+from repro.analysis import amplifier_counts, subgroup_reductions, subset_counts
+from repro.util import format_sim
+
+
+def test_fig03_amplifier_counts(benchmark, world, parsed_monlist):
+    rows = benchmark(amplifier_counts, parsed_monlist, world.table, world.pbl)
+
+    ips = [r.ips for r in rows]
+    # Scaled initial pool.
+    expected_initial = 1_405_000 * world.params.scale
+    assert 0.6 * expected_initial < ips[0] < 1.3 * expected_initial
+    # Halved (and more) within two weeks; >80% down by the end; plateau.
+    assert ips[2] < 0.65 * ips[0]
+    assert ips[-1] < 0.2 * ips[0]
+    assert max(ips[-4:]) < 1.6 * min(ips[-4:])
+
+    # Reduction shallower at each aggregation level (92/72/59/55 pattern).
+    reductions = {r.level: r.reduction for r in subgroup_reductions(rows[0], rows[-1])}
+    assert reductions["ip"] > reductions["slash24"] > reductions["asn"]
+
+    # Local subsets: Merit declines; CSU's amplifiers disappear after Jan 24.
+    merit = world.registry.special["REGIONAL-MI"]
+    csu = world.registry.special["CSU-EDU"]
+    merit_counts = subset_counts(parsed_monlist, merit.prefixes)
+    csu_counts = subset_counts(parsed_monlist, csu.prefixes)
+    assert merit_counts[0][1] > merit_counts[-1][1]
+    assert csu_counts[0][1] >= 5
+    assert all(count == 0 for t, count in csu_counts[3:])  # secured Jan 24
+
+    print("\nFig3 (date: IPs //24s /blocks /ASNs | merit csu):")
+    for row, (t, m), (_, c) in zip(rows, merit_counts, csu_counts):
+        print(
+            f"  {format_sim(row.t)}: {row.ips:>6} {row.slash24s:>6} {row.blocks:>5} "
+            f"{row.asns:>5} | {m:>3} {c:>2}"
+        )

@@ -1,0 +1,62 @@
+"""Figure 4: amplification power.
+
+(a) Aggregate on-wire bytes returned per amplifier span many orders of
+    magnitude; ~99% of amplifiers stay under a full table's worth while a
+    handful of mega amplifiers return gigabytes (largest: 136 GB).
+(b) monlist BAF: median ~4x, Q3 ~15x, maxima around 1e6-1e9.
+(c) version BAF: tight quartiles ~3.5/4.6/6.9 with loop-driven outliers.
+"""
+
+from repro.analysis import (
+    aggregate_bytes_per_amplifier,
+    mega_amplifier_census,
+    sample_baf_boxplot,
+    version_sample_baf_boxplot,
+)
+
+
+def test_fig04a_aggregate_bytes(benchmark, parsed_monlist):
+    totals, ranks = benchmark(aggregate_bytes_per_amplifier, parsed_monlist)
+    values = [v for _, v in ranks]
+    assert values[0] > 1e10  # the giga amplifiers (paper: up to 136 GB)
+    assert values[0] > 1e4 * values[len(values) // 2]  # huge dynamic range
+    census = mega_amplifier_census(parsed_monlist)
+    assert census.fraction_under_50kb > 0.85  # paper: ~99% under ~50 KB
+    assert census.n_over_1gb >= 5  # paper: six amplifiers above 1 GB
+    assert census.largest_bytes > 5e10
+    print(
+        f"\nFig4a: top={values[0]:.2e}B  median={values[len(values)//2]:.2e}B  "
+        f">1GB amps={census.n_over_1gb}  largest={census.largest_bytes/1e9:.0f}GB"
+    )
+
+
+def test_fig04b_monlist_baf(benchmark, parsed_monlist):
+    boxes = benchmark(lambda samples: [sample_baf_boxplot(p) for p in samples], parsed_monlist)
+    first = boxes[0]
+    # Typical amplifier: a handful of x (paper median ~4.3).
+    assert 3.0 <= first.median <= 12.0
+    # A quarter of amplifiers provide substantially more (paper Q3 ~15).
+    assert first.q3 >= 8.0
+    # Mega outliers.
+    assert max(b.maximum for b in boxes) > 1e5
+    print("\nFig4b (sample: q1/med/q3/max):")
+    for i, b in enumerate(boxes):
+        print(f"  s{i:02d}: {b.q1:.1f} / {b.median:.1f} / {b.q3:.1f} / {b.maximum:.2e}")
+
+
+def test_fig04c_version_baf(benchmark, world):
+    boxes = benchmark(
+        lambda samples: [version_sample_baf_boxplot(s) for s in samples],
+        world.onp.version_samples,
+    )
+    medians = [b.median for b in boxes]
+    # Quartiles nearly constant across samples (paper: ~3.5/4.6/6.9).
+    assert max(medians) - min(medians) < 1.0
+    assert 3.5 <= boxes[0].median <= 6.0
+    assert boxes[0].q1 >= 3.0
+    assert boxes[0].q3 <= 9.5
+    # Outliers exist but the high percentiles are far below monlist's.
+    assert max(b.maximum for b in boxes) > 1e4
+    print("\nFig4c (sample: q1/med/q3/max):")
+    for i, b in enumerate(boxes):
+        print(f"  s{i}: {b.q1:.2f} / {b.median:.2f} / {b.q3:.2f} / {b.maximum:.2e}")

@@ -1,0 +1,32 @@
+"""Figure 5: CDF of victim packets by AS.
+
+Paper: just 100 amplifier ASes (of 16,687) source 60% of victim packets;
+victims are even more concentrated — the top 100 of 11,558 victim ASes
+receive three quarters of all attack packets; the OVH-like hoster is the
+single top victim AS (§4.4), with the CloudFlare-like CDN in the top 20.
+"""
+
+from repro.analysis import as_concentration
+
+
+def test_fig05_as_concentration(benchmark, victim_report, world):
+    report = benchmark(as_concentration, victim_report, world.table)
+
+    n_victim_ases = len(report.victim_as_packets)
+    n_amp_ases = len(report.amplifier_as_packets)
+    # Scale the paper's top-100-of-11,558 to our AS universe.
+    k_victim = max(3, round(n_victim_ases * 100 / 11_558))
+    victim_top = report.victim_ecdf.fraction_within_top(k_victim)
+    # Strong concentration: a sliver of ASes absorbs most packets.
+    assert victim_top > 0.25
+    assert report.victim_ecdf.fraction_within_top(n_victim_ases // 10) > 0.5
+
+    ovh = world.registry.special["HOSTING-FR-1"]
+    rank = report.victim_as_rank(ovh.asn)
+    assert rank is not None and rank <= 5  # paper: rank 1
+
+    print(
+        f"\nFig5: victim ASes={n_victim_ases} top-{k_victim} hold {victim_top:.2f}; "
+        f"amp ASes={n_amp_ases}; OVH-like AS rank={rank}"
+    )
+    print("  top victim ASes:", [(a, int(p)) for a, p in report.top_victim_ases(5)])

@@ -1,0 +1,41 @@
+"""Figure 6: total packets received per victim, per weekly sample.
+
+Paper: medians are small (hundreds to ~thousands of packets) while means
+run to millions — a few heavily-attacked victims dominate; the 95th
+percentile drops by roughly an order of magnitude after mid-February
+(remediation's effect), and §4.3.3 totals ≈2.92 trillion packets (a stated
+lower bound) ≈1.2 PB at the 420-byte median response packet.
+"""
+
+from repro.util import date_to_sim, format_sim
+
+
+def test_fig06_victim_packets(benchmark, victim_report, world):
+    rows = benchmark(victim_report.victim_packet_stats)
+
+    assert len(rows) == 15
+    # Mean far above median in every populated sample.
+    for t, mean, median, p95 in rows:
+        if median > 0:
+            assert mean > 3 * median
+    # The 95th percentile declines from the February peak into April
+    # (paper: two orders of magnitude; the simulated lens declines less
+    # because the persistent mega amplifiers' uplink-capped counts don't
+    # shrink with the pool — see EXPERIMENTS.md).
+    p95s = {format_sim(t): p95 for t, _, _, p95 in rows}
+    feb_peak = max(v for d, v in p95s.items() if d < "2014-03-01")
+    april = [v for d, v in p95s.items() if d >= "2014-04-01"]
+    assert min(april) < feb_peak
+    assert april[-1] <= max(p95s.values())
+
+    # Aggregate totals: at least the paper's lower bound when rescaled.
+    total = victim_report.total_attack_packets()
+    full_equiv = total / world.params.scale
+    assert full_equiv > 2.9e12
+    petabytes = victim_report.total_attack_bytes() / 1e15 / world.params.scale
+    assert petabytes > 1.2  # paper: >=1.2 PB observed
+
+    print("\nFig6 (date: mean/median/p95):")
+    for t, mean, median, p95 in rows:
+        print(f"  {format_sim(t)}: {mean:.2e} / {median:.0f} / {p95:.2e}")
+    print(f"  aggregate full-scale-equivalent packets: {full_equiv:.2e} (~{petabytes:.1f} PB)")

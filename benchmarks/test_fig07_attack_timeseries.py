@@ -1,0 +1,45 @@
+"""Figure 7: attacks per hour derived from monlist start-time estimates.
+
+Paper: attack counts climb from the first January samples, peak around
+February 12 (the OVH/CloudFlare event), and decline afterwards; mean
+514/hour, median 280/hour at full scale — all lower bounds given the
+~44-hour view window.
+"""
+
+from collections import defaultdict
+
+from repro.util import date_to_sim, format_sim
+
+
+def test_fig07_attack_timeseries(benchmark, victim_report):
+    hours = benchmark(victim_report.attacks_per_hour)
+    assert hours
+
+    daily = defaultdict(int)
+    for hour, count in hours.items():
+        daily[hour // 24] += count
+    days = sorted(daily)
+
+    peak_day = max(daily, key=daily.get)
+    peak_t = peak_day * 86400
+    # Peak in the late-January..early-March band around the OVH event.
+    assert date_to_sim(2014, 1, 20) <= peak_t <= date_to_sim(2014, 3, 10)
+
+    january = [daily[d] for d in days if d * 86400 < date_to_sim(2014, 1, 20)]
+    late = [daily[d] for d in days if d * 86400 > date_to_sim(2014, 4, 1)]
+    # Counting one attack per (victim, sample) — the paper's rule —
+    # saturates at simulation scale once the active victim pool is fully
+    # hit each week, so the peak-vs-January ratio is compressed relative
+    # to the paper's ~10x; direction and timing still hold.
+    assert daily[peak_day] > 1.15 * max(january)
+    if late:
+        assert max(late) < daily[peak_day]
+
+    # Some derived start times predate the first sample (tables retain
+    # older victims — the dashed-line region of the figure).
+    assert min(days) * 86400 < date_to_sim(2014, 1, 10)
+
+    print(
+        f"\nFig7: peak {daily[peak_day]} attacks/day on {format_sim(peak_t)}; "
+        f"first derived day {format_sim(min(days) * 86400)}"
+    )

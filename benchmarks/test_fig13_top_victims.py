@@ -1,0 +1,38 @@
+"""Figure 13: time series of the top-5 victims of Merit's amplifiers.
+
+Paper: the five worst-hit victims of Merit-hosted amplifiers receive
+multi-day coordinated attacks (up to ~166 hours), with stacked volumes
+peaking around 100 MB/s, and larger attacks (more amplifiers) lasting
+longer.
+"""
+
+import numpy as np
+
+
+def top5_series(world):
+    merit = world.isp.sites["merit"]
+    top = merit.top_victims(5)
+    return top, [merit.victim_series_mbps(v.ip) for v in top]
+
+
+def test_fig13_top_victims(benchmark, world):
+    top, series = benchmark(top5_series, world)
+    assert top, "Merit amplifiers must have qualified victims"
+
+    # Every top victim has visible in-series traffic.
+    active_hours = []
+    for victim, s in zip(top, series):
+        assert s.sum() > 0
+        active_hours.append(int((s > 0).sum()))
+    # Multi-hour (often multi-day) attack campaigns.
+    assert max(active_hours) >= 24
+
+    # Coordination: top victims are hit through multiple Merit amplifiers.
+    assert max(len(v.amplifiers) for v in top) >= 2
+
+    print("\nFig13 top Merit victims (GB, amplifiers, active hours, peak MB/s):")
+    for victim, s, hours in zip(top, series, active_hours):
+        print(
+            f"  AS{victim.asn}: {victim.gb:.1f} GB via {len(victim.amplifiers)} amps, "
+            f"{hours} h active, peak {s.max():.2f} MB/s"
+        )

@@ -1,0 +1,41 @@
+"""Figure 15: attack volume toward victims common to Merit and FRGP.
+
+Paper: 291 victims were attacked through amplifiers at *both* sites
+(coordinated multi-site amplifier lists), though the common-victim volumes
+were fairly low compared with each site's top victims.
+"""
+
+
+def common_victim_volumes(world):
+    common = world.isp.common_victims("merit", "frgp")
+    merit = world.isp.sites["merit"]
+    frgp = world.isp.sites["frgp"]
+    rows = []
+    for ip in common:
+        rows.append(
+            (
+                ip,
+                merit.victim_forensics[ip].gb,
+                frgp.victim_forensics[ip].gb,
+            )
+        )
+    rows.sort(key=lambda r: r[1] + r[2], reverse=True)
+    return rows
+
+
+def test_fig15_common_victims(benchmark, world):
+    rows = benchmark(common_victim_volumes, world)
+
+    # Cross-site coordination exists (paper: 291 at full scale).
+    assert len(rows) >= 1
+    # Both vantage points record volume for the shared victims.
+    assert any(m > 0 and f > 0 for _, m, f in rows)
+    # Common-victim volumes are modest relative to each site's top victim.
+    merit_top = world.isp.sites["merit"].top_victims(1)
+    if merit_top and rows:
+        top_common = max(m for _, m, _ in rows)
+        assert top_common <= merit_top[0].gb * 1.01
+
+    print(f"\nFig15: {len(rows)} common Merit/FRGP victims; top volumes (GB merit/frgp):")
+    for ip, m, f in rows[:5]:
+        print(f"  {ip}: {m:.2f} / {f:.2f}")

@@ -1,0 +1,57 @@
+"""Table 3: example monlist tables showing the ONP probe, normal clients,
+scanners, and victims — the raw material of the victimology filter.
+
+Paper: table A shows the probe on top (mode 7, weekly inter-arrival), benign
+mode-3/4 clients, and research scanners; table B shows victims with huge
+counts (billions at mega amplifiers), zero inter-arrival, and service ports
+like UDP/80.
+"""
+
+from repro.analysis import CLASS_VICTIM, classify_entry, reconstruct_table
+from repro.attack import ONP_PROBER_IP
+from repro.reporting import render_monlist_table
+
+
+def find_example_tables(world):
+    sample = world.onp.monlist_samples[6]  # late February: victim-rich
+    probe_topped = None
+    victim_rich = None
+    for capture in sample.captures:
+        table = reconstruct_table(capture)
+        if not table.entries:
+            continue
+        if probe_topped is None and table.entries[0].addr == ONP_PROBER_IP:
+            probe_topped = table
+        victims = [e for e in table.entries if classify_entry(e) == CLASS_VICTIM]
+        if victims and (
+            victim_rich is None
+            or len(victims) > sum(1 for e in victim_rich.entries if classify_entry(e) == CLASS_VICTIM)
+        ):
+            victim_rich = table
+    return probe_topped, victim_rich
+
+
+def test_table3_monlist_examples(benchmark, world):
+    probe_topped, victim_rich = benchmark(find_example_tables, world)
+
+    # Table A: the ONP probe tops the MRU list with a ~weekly inter-arrival.
+    assert probe_topped is not None
+    top = probe_topped.entries[0]
+    assert top.addr == ONP_PROBER_IP
+    assert top.mode == 7
+    assert top.last_int <= 1
+    if top.count > 1:
+        assert 3 * 86400 < top.avg_interval < 10 * 86400
+
+    # Table B: victims with large counts and sub-hour inter-arrivals.
+    assert victim_rich is not None
+    victims = [e for e in victim_rich.entries if classify_entry(e) == CLASS_VICTIM]
+    assert victims
+    biggest = max(victims, key=lambda e: e.count)
+    assert biggest.count >= 100
+    assert biggest.avg_interval <= 3600
+
+    print()
+    print(render_monlist_table(probe_topped.entries[:6], title="Table 3a (probe + clients)"))
+    print()
+    print(render_monlist_table(victims[:6], title="Table 3b (victims)"))

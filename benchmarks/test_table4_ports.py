@@ -1,0 +1,33 @@
+"""Table 4: top-20 ports attacked at victims.
+
+Paper: UDP/80 tops the list (36%), the NTP port itself is second (24%),
+and at least ten of the top twenty are game-associated (Xbox Live,
+Minecraft, Steam, ...), together >=15% — the "game wars" evidence.
+"""
+
+from repro.population import GAME_PORTS
+from repro.reporting import render_table4
+
+
+def test_table4_ports(benchmark, victim_report):
+    ports = benchmark(victim_report.port_table, 20)
+    assert ports
+
+    ranked = [p for p, _ in ports]
+    fractions = dict(ports)
+
+    # Port 80 first, NTP's own port high.
+    assert ranked[0] == 80
+    assert fractions[80] > 0.2
+    assert 123 in ranked[:3]
+    assert fractions.get(123, 0) > 0.1
+
+    # Game ports prominent: several in the top 20, meaningful mass.
+    game_in_top = [p for p in ranked if p in GAME_PORTS]
+    assert len(game_in_top) >= 4
+    game_mass = sum(f for p, f in ports if p in GAME_PORTS)
+    assert game_mass >= 0.10  # paper: >=15%
+
+    print()
+    print(render_table4(ports))
+    print(f"game-port mass in top-20: {game_mass:.3f}")

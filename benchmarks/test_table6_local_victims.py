@@ -1,0 +1,34 @@
+"""Table 6: the worst victims at Merit and CSU.
+
+Paper: Merit's top victims received 1.6-5.9 TB each over up to ~166 hours
+through 4-42 amplifiers, spread across ASes on several continents; CSU's
+top victims include the OVH-like French hoster.  Volumes scale with the
+simulated attack load; the multi-amplifier, multi-day structure and the
+AS/country diversity are the shape under test.
+"""
+
+from repro.analysis import top_victim_table
+from repro.reporting import render_table6
+
+
+def test_table6_local_victims(benchmark, world):
+    merit_rows = benchmark(
+        top_victim_table, world.isp.sites["merit"], world.table, world.geo
+    )
+    frgp_rows = top_victim_table(world.isp.sites["frgp"], world.table, world.geo)
+
+    assert merit_rows
+    top = merit_rows[0]
+    assert top["gb"] > 0.2
+    assert top["amplifiers"] >= 2  # coordinated multi-amplifier attacks
+    assert top["duration_hours"] > 1
+    assert top["country"]
+
+    # Victim ASes are globally spread: more than one country in the top-5s.
+    countries = {r["country"] for r in merit_rows} | {r["country"] for r in frgp_rows}
+    assert len(countries) >= 2
+
+    print()
+    print(render_table6("Merit", merit_rows))
+    print()
+    print(render_table6("FRGP/CSU", frgp_rows))

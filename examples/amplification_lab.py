@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Amplification lab: what makes an NTP server a good DDoS weapon?
+
+Measures bandwidth amplification factors across server configurations —
+table sizes, the two monlist implementations, primed/full tables, the
+version command, and the mega-amplifier loop pathology — and contrasts the
+paper's on-wire BAF with Rossow's UDP-payload BAF.
+
+Usage::
+
+    python examples/amplification_lab.py
+"""
+
+from repro.net import on_wire_bytes
+from repro.ntp import IMPL_XNTPD, IMPL_XNTPD_OLD, NtpServer, ServerConfig
+from repro.reporting import render_table
+
+QUERY_ONWIRE = on_wire_bytes(8)
+QUERY_PAYLOAD = 8
+
+
+def build_server(n_clients, implementations, loop_factor=1):
+    config = ServerConfig(
+        implementations=frozenset(implementations), loop_factor=loop_factor
+    )
+    server = NtpServer(ip=0xC6336407, config=config)
+    for i in range(n_clients):
+        server.record_client(0x0A000000 + i, 123, 3, 4, now=float(i))
+    return server
+
+
+def measure(server, implementation):
+    reply = server.respond_monlist(0xCB00000A, 50557, now=10_000.0, implementation=implementation)
+    if reply is None:
+        return None
+    return (
+        reply.total_packets,
+        reply.total_payload_bytes,
+        reply.total_on_wire_bytes / QUERY_ONWIRE,
+        reply.total_payload_bytes / QUERY_PAYLOAD,
+    )
+
+
+def main():
+    rows = []
+    cases = [
+        ("1 client, v2 impl", 1, IMPL_XNTPD, 1),
+        ("6 clients (median table)", 6, IMPL_XNTPD, 1),
+        ("6 clients, legacy v1 impl", 6, IMPL_XNTPD_OLD, 1),
+        ("35 clients (mean table)", 35, IMPL_XNTPD, 1),
+        ("primed full table (600)", 600, IMPL_XNTPD, 1),
+        ("full table, v1 impl", 600, IMPL_XNTPD_OLD, 1),
+        ("mega amplifier (loop x1000)", 600, IMPL_XNTPD, 1000),
+        ("giga amplifier (loop x2.7M)", 600, IMPL_XNTPD, 2_700_000),
+    ]
+    for label, clients, impl, loop in cases:
+        server = build_server(clients, {IMPL_XNTPD, IMPL_XNTPD_OLD}, loop_factor=loop)
+        packets, payload, onwire_baf, payload_baf = measure(server, impl)
+        rows.append(
+            [
+                label,
+                packets,
+                f"{payload / 1e3:.1f} KB"
+                if payload < 1e6
+                else (f"{payload / 1e6:.1f} MB" if payload < 1e9 else f"{payload / 1e9:.1f} GB"),
+                f"{onwire_baf:,.1f}x",
+                f"{payload_baf:,.1f}x",
+            ]
+        )
+    print(
+        render_table(
+            ["configuration", "reply pkts", "reply size", "on-wire BAF", "payload BAF"],
+            rows,
+            title="NTP monlist amplification (84-byte on-wire query)",
+        )
+    )
+    print(
+        "\nNotes: the paper's typical amplifier gives ~4x on-wire; a primed\n"
+        "600-entry table ~600x; loop-pathology mega amplifiers reach 1e6-1e9x\n"
+        "(one replied with 136 GB to a single query).  The payload-ratio BAF\n"
+        "definition (Rossow) overstates on-wire exhaustion by >10x on small\n"
+        "replies because the 8-byte query still costs 84 bytes of wire time."
+    )
+
+    # The version (mode 6) command for comparison.
+    server = build_server(0, {IMPL_XNTPD})
+    reply = server.respond_version(0xCB00000A, 50557, now=10_000.0)
+    baf = reply.total_on_wire_bytes / QUERY_ONWIRE
+    print(f"\nversion (mode 6 READVAR) reply: {reply.total_payload_bytes} bytes -> {baf:.1f}x on-wire")
+    print("(paper: quartiles 3.5/4.6/6.9 across 4M responders — a larger, slower-")
+    print(" remediating pool that remains after monlist is gone)")
+
+
+if __name__ == "__main__":
+    main()

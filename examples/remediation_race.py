@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""The remediation race (§6, Figure 10).
+
+Builds a small world and charts how three vulnerable pools respond to
+publicity: monlist amplifiers (dramatic community response), version
+responders (mild), and open DNS resolvers (barely moving after a year) —
+plus the subgroup axes: aggregation level, continent, and host class.
+
+Usage::
+
+    python examples/remediation_race.py [scale]
+"""
+
+import sys
+
+from repro import PaperWorld
+from repro.analysis import (
+    amplifier_counts,
+    continent_remediation,
+    parse_sample,
+    pool_relative_to_peak,
+    subgroup_reductions,
+    weeks_since,
+)
+from repro.reporting import render_series, render_table
+from repro.util import date_to_sim, format_sim
+
+
+def sparkline(fractions, width=40):
+    blocks = " .:-=+*#%@"
+    return "".join(blocks[min(9, int(f * 9.999))] for f in fractions[:width])
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.001
+    world = PaperWorld.build(seed=99, scale=scale, quiet=False)
+    parsed = [parse_sample(s) for s in world.onp.monlist_samples]
+
+    monlist = pool_relative_to_peak([(p.t, len(p.amplifier_ips())) for p in parsed])
+    version = pool_relative_to_peak([(s.t, len(s)) for s in world.onp.version_samples])
+    dns = pool_relative_to_peak(
+        [(s.t, s.count) for s in world.dns_pool.weekly_series(n_weeks=60)]
+    )
+
+    print("\n=== Pool size relative to peak (each char ≈ one sample) ===")
+    print(f"  monlist  [{sparkline([f for _, f in monlist])}]  -> {monlist[-1][1]:.2f}")
+    print(f"  version  [{sparkline([f for _, f in version])}]  -> {version[-1][1]:.2f}")
+    print(f"  open DNS [{sparkline([f for _, f in dns])}]  -> {dns[-1][1]:.2f}")
+    print("  (paper: monlist -> 0.08, version -> 0.81, DNS nearly flat)")
+
+    rows = amplifier_counts(parsed, world.table, world.pbl)
+    print("\n=== §6.1 network-level reductions ===")
+    table_rows = [
+        [r.level, r.initial, r.final, f"{100 * r.reduction:.0f}%"]
+        for r in subgroup_reductions(rows[0], rows[-1])
+    ]
+    print(render_table(["level", "initial", "final", "reduction"], table_rows))
+    print("(paper: IP 92%, /24 72%, routed block 59%, AS 55%)")
+
+    print("\n=== §6.1 regional remediation ===")
+    rates = continent_remediation(parsed[0], parsed[-1], world.table)
+    for continent in ("NA", "OC", "EU", "AS", "AF", "SA"):
+        if continent in rates:
+            print(f"  {continent}: {100 * rates[continent]:.0f}% remediated")
+    print("(paper: NA 97, OC 93, EU 89, AS 84, AF 77, SA 63)")
+
+    print("\n=== §6.1 host-class axis ===")
+    print(
+        f"  end-host share of remaining pool: "
+        f"{100 * rows[0].end_host_fraction:.0f}% -> {100 * rows[-1].end_host_fraction:.0f}% "
+        f"(paper: 18.5% -> 33.5%)"
+    )
+
+    print("\n=== Figure 3-style series ===")
+    print(
+        render_series(
+            [(format_sim(r.t), r.ips) for r in rows],
+            value_label="amplifier IPs",
+            time_label="sample",
+            fmt="{:.0f}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

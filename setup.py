@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e .` / `setup.py develop` work offline.
+
+The offline environment has setuptools but not `wheel`, so PEP 517 editable
+builds (which require building an editable wheel) are unavailable; this shim
+enables the classic develop path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Reproduction of *Taming the 800 Pound Gorilla: The Rise and Decline of
+NTP DDoS Attacks* (Czyz et al., IMC 2014).
+
+The package is layered bottom-up:
+
+* :mod:`repro.util` — RNG streams, simulation time, statistics;
+* :mod:`repro.net` — IPv4, on-wire framing, routing, AS registry, PBL;
+* :mod:`repro.ntp` — NTP wire formats (modes 3/4, 6, 7), the monlist MRU
+  table, and a simulated ntpd server;
+* :mod:`repro.sim` — discrete-event engine;
+* :mod:`repro.population` — NTP hosts, amplifier pools, remediation,
+  victims, DNS resolvers;
+* :mod:`repro.attack` — scanners, booters, attack campaigns;
+* :mod:`repro.telescope` — IPv4/IPv6 darknets;
+* :mod:`repro.measurement` — the paper's five data-collection apparatus;
+* :mod:`repro.analysis` — the paper's analysis pipeline (consumes only the
+  measured datasets, never simulator ground truth);
+* :mod:`repro.scenario` — :class:`~repro.scenario.PaperWorld`, one call to
+  build everything;
+* :mod:`repro.reporting` — text rendering of the paper's tables/figures.
+
+Quick start::
+
+    from repro import PaperWorld
+    world = PaperWorld.build(seed=2014, scale=0.001)
+    from repro.analysis import parse_sample, analyze_dataset
+    parsed = [parse_sample(s) for s in world.onp.monlist_samples]
+    report = analyze_dataset(parsed)
+"""
+
+from repro.scenario import PaperWorld, WorldParams
+
+__version__ = "1.0.0"
+
+__all__ = ["PaperWorld", "WorldParams", "__version__"]

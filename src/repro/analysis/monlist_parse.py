@@ -1,0 +1,112 @@
+"""Reconstructing monlist tables from captured response packets (§4.2).
+
+This is the ntpdc-equivalent protocol logic the paper applied to 5M
+amplifier-week response sets: parse each mode-7 packet, validate it against
+the request, and reassemble the multi-packet table in sequence order.  When
+an amplifier sent repeated copies of the table (a mega amplifier), the
+*final* table received is used, as in the paper — our captures store
+exactly that rendition plus the repeat count.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.net.framing import on_wire_bytes
+from repro.ntp.constants import MON_ENTRY_V1_SIZE, MON_ENTRY_V2_SIZE
+from repro.ntp.wire import WireError, decode_mode7
+
+__all__ = ["ReconstructedTable", "reconstruct_table", "ParsedSample", "parse_sample"]
+
+
+@dataclass
+class ReconstructedTable:
+    """One amplifier's parsed monlist reply for one sample."""
+
+    amplifier_ip: int
+    t: float
+    entries: tuple
+    entry_size: int
+    n_packets_once: int
+    n_repeats: int
+    payload_bytes_once: int
+    on_wire_bytes_once: int
+
+    @property
+    def total_packets(self):
+        return self.n_packets_once * self.n_repeats
+
+    @property
+    def total_on_wire_bytes(self):
+        return self.on_wire_bytes_once * self.n_repeats
+
+    @property
+    def total_payload_bytes(self):
+        return self.payload_bytes_once * self.n_repeats
+
+    @property
+    def is_mega(self):
+        return self.n_repeats > 1
+
+    def __len__(self):
+        return len(self.entries)
+
+
+def reconstruct_table(capture):
+    """Parse one :class:`~repro.measurement.onp.ProbeCapture` into a table.
+
+    Packets are validated (response bit, consistent implementation/request
+    code, item size) and entries concatenated in sequence order.  Raises
+    :class:`~repro.ntp.wire.WireError` on malformed input.
+    """
+    decoded = [decode_mode7(p) for p in capture.packets]
+    if not decoded:
+        raise WireError("empty capture")
+    first = decoded[0]
+    for pkt in decoded:
+        if not pkt.response:
+            raise WireError("capture contains a non-response packet")
+        if pkt.implementation != first.implementation:
+            raise WireError("mixed implementations in one capture")
+        if pkt.item_size not in (0, MON_ENTRY_V1_SIZE, MON_ENTRY_V2_SIZE):
+            raise WireError(f"unexpected item size {pkt.item_size}")
+    ordered = sorted(decoded, key=lambda p: p.sequence)
+    entries = []
+    for pkt in ordered:
+        entries.extend(pkt.items)
+    payload = sum(len(p) for p in capture.packets)
+    wire = sum(on_wire_bytes(len(p)) for p in capture.packets)
+    return ReconstructedTable(
+        amplifier_ip=capture.target_ip,
+        t=capture.t,
+        entries=tuple(entries),
+        entry_size=first.item_size,
+        n_packets_once=len(capture.packets),
+        n_repeats=capture.n_repeats,
+        payload_bytes_once=payload,
+        on_wire_bytes_once=wire,
+    )
+
+
+@dataclass
+class ParsedSample:
+    """All reconstructed tables of one weekly ONP monlist sample."""
+
+    t: float
+    tables: list = field(default_factory=list)
+
+    def __len__(self):
+        return len(self.tables)
+
+    def amplifier_ips(self):
+        return {table.amplifier_ip for table in self.tables}
+
+
+def parse_sample(sample):
+    """Reconstruct every capture of an ONP sample (skipping any that fail
+    to parse, as a real pipeline would; our captures should all parse)."""
+    parsed = ParsedSample(t=sample.t)
+    for capture in sample.captures:
+        try:
+            parsed.tables.append(reconstruct_table(capture))
+        except WireError:
+            continue
+    return parsed

@@ -1,0 +1,58 @@
+"""Global traffic/attack time-series helpers (Figures 1, 2)."""
+
+from dataclasses import dataclass
+
+from repro.measurement.arbor import SIZE_LARGE, SIZE_MEDIUM, SIZE_SMALL
+from repro.util.simtime import DAY, format_sim
+
+__all__ = ["traffic_fractions", "peak_traffic_date", "attack_fraction_rows", "daily_attack_counts"]
+
+
+def traffic_fractions(arbor_dataset):
+    """Figure 1: [(date string, ntp fraction, dns fraction)] per day."""
+    return [
+        (format_sim(d.day * DAY), d.ntp_fraction, d.dns_fraction)
+        for d in arbor_dataset.daily
+    ]
+
+
+def peak_traffic_date(arbor_dataset):
+    """The date NTP traffic peaked (paper: February 11th)."""
+    peak = arbor_dataset.peak_ntp_day()
+    return format_sim(peak.day * DAY)
+
+
+@dataclass(frozen=True)
+class AttackFractionRow:
+    """One Figure-2 month."""
+
+    month: str
+    small: float
+    medium: float
+    large: float
+    overall: float
+
+
+def attack_fraction_rows(arbor_dataset):
+    """Figure 2: per-month NTP fraction of attacks, by size bin."""
+    rows = []
+    for month, stats in arbor_dataset.monthly_attacks.items():
+        rows.append(
+            AttackFractionRow(
+                month=month,
+                small=stats.ntp_fraction(SIZE_SMALL),
+                medium=stats.ntp_fraction(SIZE_MEDIUM),
+                large=stats.ntp_fraction(SIZE_LARGE),
+                overall=stats.ntp_fraction(),
+            )
+        )
+    return rows
+
+
+def daily_attack_counts(attacks):
+    """Ground-truth attack starts per day (used for lead-lag checks)."""
+    counts = {}
+    for attack in attacks:
+        day = int(attack.start // DAY)
+        counts[day] = counts.get(day, 0) + 1
+    return counts

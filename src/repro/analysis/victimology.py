@@ -1,0 +1,263 @@
+"""Victim identification and attack accounting from monlist tables (§4).
+
+The classification filter, verbatim from §4.2:
+
+* mode < 6 — **non-victim** (normal NTP operation provides no
+  amplification, so attackers have no reason to spoof it);
+* mode 6 or 7 with fewer than 3 packets, or an average inter-arrival above
+  3600 s (at most ~one packet/hour) — **scanner / low-volume victim**;
+* otherwise — **victim** of that amplifier.
+
+Per victim we extract the packet count, inter-arrival, last-seen, a
+duration estimate (count x inter-arrival), and a derived start time; the
+aggregations reproduce Table 1 (right half), Table 4, and Figures 5-7.
+"""
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.util.simtime import HOUR
+from repro.util.stats import percentile
+
+__all__ = [
+    "CLASS_NON_VICTIM",
+    "CLASS_SCANNER",
+    "CLASS_VICTIM",
+    "classify_entry",
+    "VictimObservation",
+    "SampleVictimology",
+    "analyze_sample",
+    "VictimologyReport",
+    "analyze_dataset",
+]
+
+CLASS_NON_VICTIM = "non-victim"
+CLASS_SCANNER = "scanner/low-volume"
+CLASS_VICTIM = "victim"
+
+_MIN_PACKETS = 3
+_MAX_INTERARRIVAL = 3600.0
+
+
+def classify_entry(entry):
+    """Apply the paper's three-way filter to one monlist entry."""
+    if entry.mode < 6:
+        return CLASS_NON_VICTIM
+    if entry.count < _MIN_PACKETS:
+        return CLASS_SCANNER
+    if entry.avg_interval > _MAX_INTERARRIVAL:
+        return CLASS_SCANNER
+    return CLASS_VICTIM
+
+
+@dataclass(frozen=True)
+class VictimObservation:
+    """One (amplifier, victim) pair seen in one weekly sample."""
+
+    sample_t: float
+    amplifier_ip: int
+    victim_ip: int
+    port: int
+    mode: int
+    packets: int
+    avg_interval: float
+    last_seen_ago: int
+
+    @property
+    def duration(self):
+        """§4.2's attack-duration estimate: count x inter-arrival."""
+        return self.packets * self.avg_interval
+
+    @property
+    def end_time(self):
+        return self.sample_t - self.last_seen_ago
+
+    @property
+    def start_time(self):
+        return self.end_time - self.duration
+
+
+@dataclass
+class SampleVictimology:
+    """Classification results for one weekly sample."""
+
+    t: float
+    observations: list = field(default_factory=list)
+    n_non_victim: int = 0
+    n_scanner: int = 0
+    max_last_seen: list = field(default_factory=list)
+
+    @property
+    def n_victim_pairs(self):
+        return len(self.observations)
+
+    def victim_ips(self):
+        return {o.victim_ip for o in self.observations}
+
+    def packets_per_victim(self):
+        """{victim ip: total packets received across amplifiers}."""
+        out = defaultdict(int)
+        for obs in self.observations:
+            out[obs.victim_ip] += obs.packets
+        return dict(out)
+
+    def median_view_window_hours(self):
+        """Median (over tables) largest last-seen, in hours (§4.2: ~44 h)."""
+        if not self.max_last_seen:
+            return 0.0
+        return percentile(self.max_last_seen, 50) / HOUR
+
+
+def analyze_sample(parsed_sample, onp_ip=None):
+    """Classify every entry of every reconstructed table in a sample.
+
+    ``onp_ip``: the prober's own address is excluded from classification
+    outright (it is an artifact of measurement, though the filter would
+    bin it as a scanner anyway).
+    """
+    result = SampleVictimology(t=parsed_sample.t)
+    for table in parsed_sample.tables:
+        largest = 0
+        for entry in table.entries:
+            largest = max(largest, entry.last_int)
+            if onp_ip is not None and entry.addr == onp_ip:
+                continue
+            kind = classify_entry(entry)
+            if kind == CLASS_NON_VICTIM:
+                result.n_non_victim += 1
+            elif kind == CLASS_SCANNER:
+                result.n_scanner += 1
+            else:
+                result.observations.append(
+                    VictimObservation(
+                        sample_t=parsed_sample.t,
+                        amplifier_ip=table.amplifier_ip,
+                        victim_ip=entry.addr,
+                        port=entry.port,
+                        mode=entry.mode,
+                        packets=entry.count,
+                        avg_interval=entry.avg_interval,
+                        last_seen_ago=entry.last_int,
+                    )
+                )
+        if table.entries:
+            result.max_last_seen.append(largest)
+    return result
+
+
+@dataclass
+class VictimologyReport:
+    """Dataset-wide victimology: the paper's §4.3 aggregates."""
+
+    samples: list = field(default_factory=list)
+
+    def all_victim_ips(self):
+        out = set()
+        for sample in self.samples:
+            out |= sample.victim_ips()
+        return out
+
+    def total_attack_packets(self):
+        """§4.3.3's headline: ~2.92 trillion packets at full scale."""
+        return sum(o.packets for s in self.samples for o in s.observations)
+
+    def total_attack_bytes(self, median_packet_bytes=420):
+        """Packets x the 420-byte median on-wire response packet."""
+        return self.total_attack_packets() * median_packet_bytes
+
+    def victim_packet_stats(self):
+        """Per-sample (mean, median, 95th) of per-victim packets (Fig. 6)."""
+        rows = []
+        for sample in self.samples:
+            per_victim = list(sample.packets_per_victim().values())
+            if not per_victim:
+                rows.append((sample.t, 0.0, 0.0, 0.0))
+                continue
+            rows.append(
+                (
+                    sample.t,
+                    sum(per_victim) / len(per_victim),
+                    percentile(per_victim, 50),
+                    percentile(per_victim, 95),
+                )
+            )
+        return rows
+
+    def port_table(self, top=20):
+        """Table 4: top attacked ports by fraction of amplifier/victim
+        pairs."""
+        counts = Counter()
+        for sample in self.samples:
+            for obs in sample.observations:
+                counts[obs.port] += 1
+        total = sum(counts.values())
+        if total == 0:
+            return []
+        return [(port, n / total) for port, n in counts.most_common(top)]
+
+    def attacks_per_hour(self):
+        """Figure 7: attack counts binned by derived (median) start hour.
+
+        Each victim in each weekly sample counts as one attack; its start
+        time is the median of the per-amplifier derived start times.
+        """
+        per_attack_starts = defaultdict(list)
+        for sample in self.samples:
+            for obs in sample.observations:
+                per_attack_starts[(sample.t, obs.victim_ip)].append(obs.start_time)
+        hours = Counter()
+        for starts in per_attack_starts.values():
+            starts.sort()
+            median_start = starts[len(starts) // 2]
+            hours[int(median_start // HOUR)] += 1
+        return dict(sorted(hours.items()))
+
+    def durations(self, since=None):
+        """Per-attack duration estimates (median across amplifiers)."""
+        per_attack = defaultdict(list)
+        for sample in self.samples:
+            if since is not None and sample.t < since:
+                continue
+            for obs in sample.observations:
+                per_attack[(sample.t, obs.victim_ip)].append(obs.duration)
+        out = []
+        for values in per_attack.values():
+            values.sort()
+            out.append(values[len(values) // 2])
+        return out
+
+    def amplifiers_per_victim(self):
+        """Per-sample median amplifiers seen attacking each victim (§6.3)."""
+        rows = []
+        for sample in self.samples:
+            per_victim = Counter()
+            for obs in sample.observations:
+                per_victim[obs.victim_ip] += 1
+            if per_victim:
+                rows.append((sample.t, percentile(list(per_victim.values()), 50)))
+            else:
+                rows.append((sample.t, 0.0))
+        return rows
+
+    def undersampling_factor(self):
+        """§4.2: hours-per-week over the median view window (≈3.8x).
+
+        The median is pooled over every table in every sample ("across all
+        ONP weekly samples, the median largest last seen time...").
+        """
+        pooled = [w for s in self.samples for w in s.max_last_seen]
+        if not pooled:
+            return float("nan")
+        median_window = percentile(pooled, 50) / HOUR
+        if median_window <= 0:
+            return float("inf")
+        return 168.0 / median_window
+
+
+def analyze_dataset(parsed_samples, onp_ip=None):
+    """Victimology over all weekly samples."""
+    report = VictimologyReport()
+    for parsed in parsed_samples:
+        report.samples.append(analyze_sample(parsed, onp_ip=onp_ip))
+    return report

@@ -1,0 +1,35 @@
+"""The attacker ecosystem: scanners, booters, and attack campaigns."""
+
+from repro.attack.campaign import (
+    ATTACK_INTENSITY_FULL,
+    AttackCampaign,
+    AttackSpec,
+    Booter,
+    CampaignParams,
+    OVH_EVENT_END,
+    OVH_EVENT_START,
+)
+from repro.attack.scanner import (
+    ONP_PROBER_IP,
+    RESEARCH_SCANNERS,
+    ResearchScanner,
+    ScannerEcosystem,
+    linux_observed_ttl,
+    windows_observed_ttl,
+)
+
+__all__ = [
+    "ATTACK_INTENSITY_FULL",
+    "AttackCampaign",
+    "AttackSpec",
+    "Booter",
+    "CampaignParams",
+    "OVH_EVENT_END",
+    "OVH_EVENT_START",
+    "ONP_PROBER_IP",
+    "RESEARCH_SCANNERS",
+    "ResearchScanner",
+    "ScannerEcosystem",
+    "linux_observed_ttl",
+    "windows_observed_ttl",
+]

@@ -1,0 +1,405 @@
+"""Attack campaign generation (the attacker ecosystem of §5.2).
+
+The model separates three actor layers, as the paper does:
+
+* **booters** — a small number of DDoS-for-hire services, each holding a
+  scanned *amplifier list* that goes stale as remediation proceeds and is
+  refreshed periodically.  Reusing one list across attacks produces the
+  coordinated multi-amplifier attacks §7.2 observes (the same local
+  amplifiers repeatedly used together).
+* **bots** — spoofed-source query senders with Windows TTLs (§7.2's TTL
+  forensics: attack traffic mode TTL ≈109 vs scanning ≈54).
+* **attacks** — one victim, one UDP port, a start/duration, a target
+  bandwidth, and a set of amplifier legs; the per-amplifier query rate is
+  derived from the target bandwidth and each amplifier's reply size.
+
+Attack intensity follows the paper's timeline: negligible in November,
+ignition in mid-December (a week after scanning ramps), a peak on
+February 10-12 driven by the CloudFlare/OVH event, and a decline through
+April (Figures 1, 2, 7).
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.attack.scanner import windows_observed_ttl
+from repro.sim.events import AttackPulse
+from repro.util.simtime import DAY, HOUR, WEEK, date_to_sim, Timeline
+
+__all__ = ["AttackSpec", "Booter", "CampaignParams", "AttackCampaign"]
+
+#: Ground-truth attack starts per hour at full scale.
+ATTACK_INTENSITY_FULL = Timeline(
+    [
+        (date_to_sim(2013, 11, 1), 1.0),
+        (date_to_sim(2013, 12, 1), 4.0),
+        (date_to_sim(2013, 12, 15), 15.0),
+        (date_to_sim(2013, 12, 20), 120.0),
+        (date_to_sim(2014, 1, 5), 250.0),
+        (date_to_sim(2014, 1, 20), 400.0),
+        (date_to_sim(2014, 2, 5), 700.0),
+        (date_to_sim(2014, 2, 10), 2600.0),
+        (date_to_sim(2014, 2, 12), 3200.0),
+        (date_to_sim(2014, 2, 14), 1500.0),
+        (date_to_sim(2014, 2, 24), 900.0),
+        (date_to_sim(2014, 3, 15), 650.0),
+        (date_to_sim(2014, 4, 10), 380.0),
+        (date_to_sim(2014, 4, 30), 260.0),
+    ]
+)
+
+#: Median attack duration (seconds): very short early, ~40 s from
+#: mid-February (§4.3.4).
+DURATION_MEDIAN = Timeline(
+    [
+        (date_to_sim(2013, 11, 1), 12.0),
+        (date_to_sim(2014, 1, 10), 15.0),
+        (date_to_sim(2014, 2, 14), 40.0),
+        (date_to_sim(2014, 4, 30), 40.0),
+    ]
+)
+
+#: Duration log-sigma: the early tail reaches ~6.5 hours at the 95th
+#: percentile, declining to ~50 minutes by April.
+DURATION_SIGMA = Timeline(
+    [
+        (date_to_sim(2013, 11, 1), 3.3),
+        (date_to_sim(2014, 1, 10), 3.3),
+        (date_to_sim(2014, 2, 14), 2.6),
+        (date_to_sim(2014, 4, 30), 2.2),
+    ]
+)
+
+#: Median amplifiers per attack: tens early, a handful late (§6.3: the
+#: number of amplifiers per victim fell by an order of magnitude while each
+#: remaining amplifier was worked harder).
+AMPS_PER_ATTACK_MEDIAN = Timeline(
+    [
+        (date_to_sim(2013, 11, 1), 30.0),
+        (date_to_sim(2014, 1, 24), 22.0),
+        (date_to_sim(2014, 2, 21), 8.0),
+        (date_to_sim(2014, 4, 30), 3.0),
+    ]
+)
+
+#: The publicly-disclosed OVH/CloudFlare event window (§4.4).
+OVH_EVENT_START = date_to_sim(2014, 2, 10)
+OVH_EVENT_END = date_to_sim(2014, 2, 13)
+
+
+@dataclass
+class Booter:
+    """A DDoS-for-hire service with a (staling) amplifier list."""
+
+    booter_id: int
+    popularity: float
+    amplifier_list: list
+    list_refreshed: float
+
+
+@dataclass
+class AttackSpec:
+    """One attack: a victim, a window, and its amplifier legs."""
+
+    attack_id: int
+    victim: object  # population.victims.Victim
+    port: int
+    start: float
+    duration: float
+    mode: int
+    target_bps: float
+    amplifiers: list  # NtpHost legs participating
+    query_rate_per_amp: float
+    spoofer_ttl: int
+    booter_id: int
+
+    @property
+    def end(self):
+        return self.start + self.duration
+
+    @property
+    def size_gbps(self):
+        return self.target_bps / 1e9
+
+    def pulses(self):
+        """One :class:`AttackPulse` per amplifier leg."""
+        out = []
+        for host in self.amplifiers:
+            out.append(
+                AttackPulse(
+                    start=self.start,
+                    duration=self.duration,
+                    victim_ip=self.victim.ip,
+                    victim_port=self.port,
+                    amplifier_ip=host.ip,
+                    query_rate=self.query_rate_per_amp,
+                    mode=self.mode,
+                    spoofer_ttl=self.spoofer_ttl,
+                )
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class CampaignParams:
+    """Scale and calibration knobs for attack generation."""
+
+    scale: float = 0.01
+    start: float = date_to_sim(2013, 11, 1)
+    end: float = date_to_sim(2014, 5, 1)
+    n_booters: int = 24
+    #: Booter amplifier lists hold this fraction of the alive pool.
+    list_fraction: float = 0.15
+    list_refresh_interval: float = WEEK
+    #: Attack size mixture: mostly small booter hits, a few heavy ones.
+    #: The small median is a couple of Mbps — enough to knock a home user
+    #: offline, and the reason Figure 6's median victim receives only
+    #: hundreds of packets while the mean is millions.
+    small_median_bps: float = 3e6
+    small_sigma: float = 2.0
+    heavy_fraction: float = 0.02
+    heavy_median_bps: float = 4e9
+    heavy_sigma: float = 1.5
+    #: Attackers provision roughly this much bandwidth per amplifier leg;
+    #: big attacks therefore recruit hundreds-to-thousands of amplifiers
+    #: (CloudFlare's 400 Gbps attack used ~4,500), which keeps per-record
+    #: monlist counts in the realistic range.
+    target_bps_per_amp: float = 8e6
+    #: Per-amplifier spoofed-query rate ceiling (packets/second).
+    max_query_rate: float = 20000.0
+    #: Fraction of attacks using the mode-6 version vector late in the
+    #: window (§3.3: 0.3% of victims by April).
+    version_attack_fraction_late: float = 0.004
+    ovh_event: bool = True
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ValueError("end must follow start")
+        if not 0 < self.scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+
+
+class AttackCampaign:
+    """Generates the full, chronologically-sorted attack list."""
+
+    def __init__(self, rng, host_pool, victim_pool, params=None):
+        self._rng = rng
+        self._hosts = host_pool
+        self._victims = victim_pool
+        self.params = params or CampaignParams()
+
+    # -- internals -------------------------------------------------------------
+
+    def _estimated_reply_bytes(self, host):
+        """Rough on-wire bytes one monlist query elicits from ``host`` —
+        used to size query rates the way an attacker would (by observing
+        the amplifier)."""
+        from repro.population.amplifiers import estimate_monlist_reply_bytes
+
+        # Ranking/rate-sizing uses the table-only estimate: attackers'
+        # list-building scans record reply sizes, not loop pathologies.
+        return estimate_monlist_reply_bytes(host, include_loop=False)
+
+    def _sample_list(self, rng, t):
+        """A booter's amplifier list: a random slice of the alive pool,
+        sorted best-amplifiers-first (attackers rank by observed reply
+        size, which is why primed/full-table amplifiers get hammered)."""
+        alive = self._hosts.monlist_alive(t)
+        if not alive:
+            return []
+        size = max(3, min(len(alive), int(len(alive) * self.params.list_fraction)))
+        picks = rng.choice(len(alive), size=size, replace=False)
+        amp_list = [alive[int(k)] for k in picks]
+        amp_list.sort(key=self._estimated_reply_bytes, reverse=True)
+        return amp_list
+
+    def _pick_amplifiers(self, rng, booter, n_amps):
+        """Sample ``n_amps`` from a booter list with a strong elite bias:
+        most legs come from the top of the (reply-size-sorted) list."""
+        amp_list = booter.amplifier_list
+        n_amps = min(n_amps, len(amp_list))
+        elite = max(5, len(amp_list) // 50)
+        picked = {}
+        for _ in range(n_amps):
+            if rng.random() < 0.6:
+                index = int(rng.integers(0, min(elite, len(amp_list))))
+            else:
+                index = int(rng.integers(0, len(amp_list)))
+            picked[index] = amp_list[index]
+        return list(picked.values())
+
+    def _make_booters(self, rng, t):
+        booters = []
+        for i in range(self.params.n_booters):
+            booters.append(
+                Booter(
+                    booter_id=i,
+                    popularity=float(rng.bounded_pareto(1.0, 1.0, 50.0)),
+                    amplifier_list=self._sample_list(rng, t),
+                    list_refreshed=t,
+                )
+            )
+        return booters
+
+    def _refresh_booter(self, rng, booter, t):
+        fresh = self._sample_list(rng, t)
+        if fresh:
+            booter.amplifier_list = fresh
+        booter.list_refreshed = t
+
+    def _sample_size_bps(self, rng, t):
+        p = self.params
+        heavy_frac = p.heavy_fraction
+        if p.ovh_event and OVH_EVENT_START <= t <= OVH_EVENT_END:
+            heavy_frac = min(0.5, heavy_frac * 4)
+        # Cap the rare monster draws at a few percent of the scaled traffic
+        # denominator: at small scales a single absolutely-sized 100+ Gbps
+        # attack would dominate the world's whole NTP traffic curve (at
+        # full scale the cap is far above any draw).  The floor keeps the
+        # >20 Gbps "Large" bin of Figure 2 populated at every scale.
+        size_cap = max(25e9, min(400e9, 0.02 * 71.5e12 * p.scale))
+        if rng.random() < heavy_frac:
+            return min(size_cap, float(rng.lognormal_for_median(p.heavy_median_bps, p.heavy_sigma)))
+        return min(size_cap, float(rng.lognormal_for_median(p.small_median_bps, p.small_sigma)))
+
+    def _sample_duration(self, rng, t):
+        median = DURATION_MEDIAN(t)
+        sigma = DURATION_SIGMA(t)
+        return float(min(24 * HOUR, max(5.0, rng.lognormal_for_median(median, sigma))))
+
+    # -- generation -------------------------------------------------------------
+
+    def generate(self):
+        """All attacks in the window, sorted by start time."""
+        p = self.params
+        rng = self._rng.child("attacks")
+        booter_rng = self._rng.child("booters")
+        ttl_rng = self._rng.child("spoofer-ttl")
+        booters = self._make_booters(booter_rng, p.start)
+        booter_weights = [b.popularity for b in booters]
+        total_w = sum(booter_weights)
+        booter_p = [w / total_w for w in booter_weights]
+
+        attacks = []
+        attack_id = 0
+        day = p.start
+        while day < p.end:
+            # Stale lists get refreshed on a weekly cadence.
+            for booter in booters:
+                if day - booter.list_refreshed >= p.list_refresh_interval:
+                    self._refresh_booter(booter_rng, booter, day)
+            day_end = min(day + DAY, p.end)
+            expected = ATTACK_INTENSITY_FULL((day + day_end) / 2) * 24 * p.scale
+            n_attacks = int(rng.poisson(expected))
+            starts = rng.uniform(day, day_end, size=n_attacks) if n_attacks else []
+            for start in sorted(starts):
+                victim_choices = self._victims.sample_active(rng, start, 1)
+                if not victim_choices:
+                    continue
+                victim = victim_choices[0]
+                booter = booters[int(rng.choice(len(booters), p=booter_p))]
+                if not booter.amplifier_list:
+                    continue
+                duration = self._sample_duration(rng, start)
+                size_bps = self._sample_size_bps(rng, start)
+                n_amps = max(1, int(rng.lognormal_for_median(AMPS_PER_ATTACK_MEDIAN(start), 0.9)))
+                # Big attacks recruit enough amplifiers to reach the target
+                # bandwidth at sane per-amplifier rates.
+                n_amps = max(n_amps, int(size_bps / p.target_bps_per_amp))
+                amps = self._pick_amplifiers(rng, booter, n_amps)
+                # Stale entries that remediated since the list was built
+                # silently stop amplifying; attackers don't notice per-hit.
+                live = [h for h in amps if h.monlist_active(start)]
+                if not live:
+                    continue
+                version_p = (
+                    p.version_attack_fraction_late
+                    if start >= date_to_sim(2014, 2, 15)
+                    else p.version_attack_fraction_late / 4
+                )
+                mode = 6 if rng.random() < version_p else 7
+                reply = sum(self._estimated_reply_bytes(h) for h in live) / len(live)
+                rate = size_bps / 8.0 / max(1, len(live)) / max(300.0, reply)
+                rate = float(min(p.max_query_rate, max(0.5, rate)))
+                port = victim.ports[int(rng.integers(0, len(victim.ports)))]
+                attacks.append(
+                    AttackSpec(
+                        attack_id=attack_id,
+                        victim=victim,
+                        port=port,
+                        start=float(start),
+                        duration=duration,
+                        mode=mode,
+                        target_bps=size_bps,
+                        amplifiers=live,
+                        query_rate_per_amp=rate,
+                        spoofer_ttl=windows_observed_ttl(ttl_rng),
+                        booter_id=booter.booter_id,
+                    )
+                )
+                attack_id += 1
+            day = day_end
+        if self.params.ovh_event:
+            attacks.extend(self._ovh_event_attacks(rng, ttl_rng, booters, attack_id))
+        attacks.sort(key=lambda a: a.start)
+        return attacks
+
+    def _ovh_event_attacks(self, rng, ttl_rng, booters, next_id):
+        """The record-setting February 10-12 campaign against the OVH-like
+        hoster: long, heavy, many-amplifier attacks on its victims."""
+        ovh_victims = [
+            v
+            for v in self._victims.victims
+            if v.active_at(OVH_EVENT_START + DAY) or v.active_at(OVH_EVENT_START)
+        ]
+        # Targets inside the top (OVH-like) AS.
+        top_asn = None
+        from collections import Counter
+
+        counts = Counter(v.asn for v in self._victims.victims)
+        if counts:
+            top_asn = counts.most_common(1)[0][0]
+        targets = [v for v in ovh_victims if v.asn == top_asn]
+        if not targets:
+            return []
+        n_event = max(3, int(rng.poisson(150 * self.params.scale)))
+        # Individual event attacks are huge (the headline attack peaked near
+        # 400 Gbps), but a handful of absolutely-sized monsters would swamp
+        # a small world's scaled traffic denominator, so sizes are capped at
+        # a few percent of the scaled global total.  At full scale the cap
+        # is inactive.
+        size_cap = max(25e9, min(400e9, 0.02 * 71.5e12 * self.params.scale))
+        out = []
+        lists = [b for b in booters if b.amplifier_list]
+        if not lists:
+            return []
+        for i in range(n_event):
+            victim = targets[int(rng.integers(0, len(targets)))]
+            booter = lists[int(rng.integers(0, len(lists)))]
+            start = OVH_EVENT_START + float(rng.uniform(0, OVH_EVENT_END - OVH_EVENT_START))
+            duration = float(min(24 * HOUR, rng.lognormal_for_median(HOUR, 0.9)))
+            live = [h for h in booter.amplifier_list if h.monlist_active(start)]
+            if not live:
+                continue
+            n_amps = min(len(live), max(10, int(rng.lognormal_for_median(60, 0.6))))
+            picks = rng.choice(len(live), size=n_amps, replace=False)
+            amps = [live[int(k)] for k in picks]
+            size_bps = min(size_cap, float(rng.lognormal_for_median(15e9, 0.9)))
+            reply = sum(self._estimated_reply_bytes(h) for h in amps) / len(amps)
+            rate = size_bps / 8.0 / len(amps) / max(300.0, reply)
+            out.append(
+                AttackSpec(
+                    attack_id=next_id + i,
+                    victim=victim,
+                    port=victim.ports[0],
+                    start=start,
+                    duration=duration,
+                    mode=7,
+                    target_bps=size_bps,
+                    amplifiers=amps,
+                    query_rate_per_amp=float(min(self.params.max_query_rate, max(1.0, rate))),
+                    spoofer_ttl=windows_observed_ttl(ttl_rng),
+                    booter_id=booter.booter_id,
+                )
+            )
+        return out

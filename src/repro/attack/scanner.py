@@ -1,0 +1,263 @@
+"""Scanner populations: research surveys and the malicious reconnaissance
+that preceded the attack wave (§5).
+
+Two families:
+
+* **Research scanners** — a handful of fixed infrastructure IPs (the ONP
+  prober among them) conducting open, aggressive, *complete* IPv4 sweeps on
+  a regular cadence.  These are the "benign" packets of Figure 8, labeled
+  by hostname in the paper and by construction here.
+* **Malicious scanners** — a population that explodes in mid-December 2013
+  (a week before attack traffic ramps, Figure 9).  Each is a bot scanning a
+  small slice of the space per day; in aggregate they account for roughly
+  half of the darknet's NTP scan volume at peak.
+
+TTL forensics (§7.2): research/malicious scanning is predominantly
+Linux-sourced (initial TTL 64, observed mode ≈54), whereas the *spoofed
+attack* traffic shows Windows TTLs (128, observed mode ≈109).
+"""
+
+from dataclasses import dataclass
+
+from repro.net.asn import MEASUREMENT_POOL
+from repro.sim.events import ScanSweep
+from repro.util.simtime import DAY, WEEK, date_to_sim
+from repro.util.simtime import Timeline
+
+__all__ = [
+    "ONP_PROBER_IP",
+    "RESEARCH_SCANNERS",
+    "ResearchScanner",
+    "ScannerEcosystem",
+    "linux_observed_ttl",
+    "windows_observed_ttl",
+]
+
+#: The single source address the OpenNTPProject-style weekly scans use.
+ONP_PROBER_IP = MEASUREMENT_POOL.nth(10)
+
+
+def linux_observed_ttl(rng):
+    """Observed TTL of a Linux-sourced packet: 64 minus path length."""
+    hops = int(min(30, max(3, rng.normal(10, 2))))
+    return 64 - hops
+
+
+def windows_observed_ttl(rng):
+    """Observed TTL of a Windows-sourced packet: 128 minus path length."""
+    hops = int(min(30, max(3, rng.normal(19, 3))))
+    return 128 - hops
+
+
+@dataclass(frozen=True)
+class ResearchScanner:
+    """A benign, identified survey project doing periodic full sweeps."""
+
+    name: str
+    ip: int
+    mode: int
+    first_sweep: float
+    interval: float
+    last_sweep: float
+
+    def sweep_times(self):
+        times = []
+        t = self.first_sweep
+        while t <= self.last_sweep:
+            times.append(t)
+            t += self.interval
+        return times
+
+
+#: The research survey ecosystem.  The ONP monlist scans run weekly from
+#: 2014-01-10; ONP version scans from 2014-02-21; three other projects
+#: (survey-*) had been scanning NTP before the attacks began, which is why
+#: the darknet saw mostly-benign NTP packets in fall 2013 (Fig. 8).
+RESEARCH_SCANNERS = [
+    ResearchScanner(
+        name="onp-monlist",
+        ip=ONP_PROBER_IP,
+        mode=7,
+        first_sweep=date_to_sim(2014, 1, 10),
+        interval=WEEK,
+        last_sweep=date_to_sim(2014, 4, 18),
+    ),
+    ResearchScanner(
+        name="onp-version",
+        ip=MEASUREMENT_POOL.nth(11),
+        mode=6,
+        first_sweep=date_to_sim(2014, 2, 21),
+        interval=WEEK,
+        last_sweep=date_to_sim(2014, 4, 18),
+    ),
+    ResearchScanner(
+        name="survey-alpha",
+        ip=MEASUREMENT_POOL.nth(20),
+        mode=6,
+        first_sweep=date_to_sim(2013, 9, 5),
+        interval=2 * WEEK,
+        last_sweep=date_to_sim(2014, 4, 28),
+    ),
+    ResearchScanner(
+        name="survey-beta",
+        ip=MEASUREMENT_POOL.nth(21),
+        mode=7,
+        first_sweep=date_to_sim(2013, 9, 12),
+        interval=2 * WEEK,
+        last_sweep=date_to_sim(2014, 4, 28),
+    ),
+    ResearchScanner(
+        name="survey-gamma",
+        ip=MEASUREMENT_POOL.nth(22),
+        mode=7,
+        first_sweep=date_to_sim(2014, 1, 4),
+        interval=WEEK / 2,
+        last_sweep=date_to_sim(2014, 4, 28),
+    ),
+    ResearchScanner(
+        name="survey-delta",
+        ip=MEASUREMENT_POOL.nth(23),
+        mode=7,
+        first_sweep=date_to_sim(2013, 12, 20),
+        interval=WEEK,
+        last_sweep=date_to_sim(2014, 4, 28),
+    ),
+]
+
+#: Daily count of *active malicious scanner IPs* at full scale (Fig. 9's
+#: unique-scanners curve rises from near zero in early December to several
+#: thousand per day by February and stays high through April).
+MALICIOUS_DAILY_ACTIVE_FULL = Timeline(
+    [
+        (date_to_sim(2013, 9, 1), 25.0),
+        (date_to_sim(2013, 12, 1), 60.0),
+        (date_to_sim(2013, 12, 14), 120.0),
+        (date_to_sim(2013, 12, 18), 1500.0),
+        (date_to_sim(2014, 1, 1), 3500.0),
+        (date_to_sim(2014, 1, 15), 5500.0),
+        (date_to_sim(2014, 2, 1), 8000.0),
+        (date_to_sim(2014, 3, 1), 7500.0),
+        (date_to_sim(2014, 4, 30), 7000.0),
+    ]
+)
+
+#: Aggregate malicious scan volume per day, in full-IPv4-sweep equivalents.
+#: This is what sets darknet packets-per-/24 (a scale-free quantity): at
+#: peak ~0.75 sweep-equivalents/day the malicious volume roughly matches
+#: the research volume, per Figure 8's "roughly half of the increase in
+#: scanning can be attributed to research efforts".
+MALICIOUS_DAILY_COVERAGE_TOTAL = Timeline(
+    [
+        (date_to_sim(2013, 9, 1), 0.015),
+        (date_to_sim(2013, 11, 1), 0.045),
+        (date_to_sim(2013, 12, 1), 0.075),
+        (date_to_sim(2013, 12, 14), 0.09),
+        (date_to_sim(2013, 12, 18), 0.25),
+        (date_to_sim(2014, 1, 10), 0.45),
+        (date_to_sim(2014, 2, 1), 0.75),
+        (date_to_sim(2014, 3, 1), 0.70),
+        (date_to_sim(2014, 4, 30), 0.65),
+    ]
+)
+
+_RESEARCH_SWEEP_DURATION = 10 * 3600.0  # zmap-style, hours per full pass
+
+
+class ScannerEcosystem:
+    """Generates every :class:`ScanSweep` in the study window.
+
+    ``scanner_scale`` thins the *count* of distinct malicious scanner IPs
+    (Fig. 9's y-axis scales with it) while the aggregate coverage — and
+    therefore the darknet's packets-per-/24 and every per-amplifier hit
+    probability — follows the scale-free total-coverage timeline.  It is
+    floored at 0.02 so even tiny worlds keep a populated scanner ecosystem.
+    """
+
+    def __init__(
+        self,
+        rng,
+        scale=0.01,
+        start=date_to_sim(2013, 9, 1),
+        end=date_to_sim(2014, 5, 1),
+        scanner_scale=None,
+    ):
+        if end <= start:
+            raise ValueError("end must follow start")
+        self._rng = rng
+        self._scale = scale
+        self.scanner_scale = max(0.02, scale) if scanner_scale is None else scanner_scale
+        self._start = start
+        self._end = end
+
+    def research_sweeps(self):
+        """All research sweeps: full-coverage, one source IP, Linux TTLs."""
+        ttl_rng = self._rng.child("research-ttl")
+        sweeps = []
+        for scanner in RESEARCH_SCANNERS:
+            for t in scanner.sweep_times():
+                if not self._start <= t <= self._end:
+                    continue
+                sweeps.append(
+                    ScanSweep(
+                        t=t,
+                        scanner_ip=scanner.ip,
+                        kind="research",
+                        mode=scanner.mode,
+                        coverage=1.0,
+                        targets_per_second=2**32 / _RESEARCH_SWEEP_DURATION,
+                        ttl=linux_observed_ttl(ttl_rng),
+                        duration=_RESEARCH_SWEEP_DURATION,
+                    )
+                )
+        return sweeps
+
+    def malicious_sweeps(self):
+        """Daily sweeps of the malicious scanner population (scaled).
+
+        Scanner IPs are drawn from a large bot-address space; each active
+        scanner-day becomes one partial-coverage sweep.  A fraction of
+        scanner IPs recur day-to-day (persistent scan boxes), the rest churn.
+        """
+        rng = self._rng.child("malicious")
+        ttl_rng = self._rng.child("malicious-ttl")
+        sweeps = []
+        persistent = {}
+        day = self._start
+        while day < self._end:
+            active_full = MALICIOUS_DAILY_ACTIVE_FULL(day)
+            n_active = max(1, int(rng.poisson(active_full * self.scanner_scale)))
+            # Split the day's aggregate coverage across the active scanners,
+            # heavy-tailed (a few fast scanners, many slow ones).
+            total_coverage = MALICIOUS_DAILY_COVERAGE_TOTAL(day)
+            shares = rng.bounded_pareto(0.8, 1.0, 100.0, size=n_active)
+            shares = shares / shares.sum()
+            for slot in range(n_active):
+                if slot in persistent and rng.random() < 0.6:
+                    ip = persistent[slot]
+                else:
+                    ip = int(rng.integers(0x0B000000, 0xDF000000))
+                    persistent[slot] = ip
+                # Mostly monlist reconnaissance; interest in version grows
+                # over time (§3.3: 19% of scanners by the final sample).
+                version_p = 0.04 if day < date_to_sim(2014, 2, 15) else 0.16
+                mode = 6 if rng.random() < version_p else 7
+                sweeps.append(
+                    ScanSweep(
+                        t=day + float(rng.uniform(0, DAY)),
+                        scanner_ip=ip,
+                        kind="malicious",
+                        mode=mode,
+                        coverage=min(1.0, max(1e-7, total_coverage * float(shares[slot]))),
+                        targets_per_second=float(rng.uniform(50, 5000)),
+                        ttl=linux_observed_ttl(ttl_rng),
+                        duration=DAY * 0.5,
+                    )
+                )
+            day += DAY
+        return sweeps
+
+    def all_sweeps(self):
+        """Research + malicious sweeps, sorted by time."""
+        sweeps = self.research_sweeps() + self.malicious_sweeps()
+        sweeps.sort(key=lambda s: s.t)
+        return sweeps

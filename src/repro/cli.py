@@ -1,0 +1,492 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+Usage::
+
+    python -m repro summary  [--preset default | --scale 0.002] [--seed 2014]
+    python -m repro figure F1 [...]      # F1..F16
+    python -m repro table  T1 [...]      # T1..T6
+    python -m repro validate             # §4.4 cross-dataset validation
+    python -m repro list                 # available artifacts and presets
+
+A built world can be cached (``--cache world.pkl``) so successive artifact
+renders skip the simulation.
+"""
+
+import argparse
+import pickle
+import sys
+
+from repro.scenario import PaperWorld
+from repro.scenario.presets import PRESETS, resolve_preset
+
+__all__ = ["main", "build_or_load_world", "render_artifact", "ARTIFACTS"]
+
+
+def build_or_load_world(args):
+    """Build the world from CLI args, honoring the optional pickle cache."""
+    if args.cache:
+        try:
+            with open(args.cache, "rb") as handle:
+                world = pickle.load(handle)
+            if not args.quiet:
+                print(f"(loaded cached world from {args.cache})", file=sys.stderr)
+            return world
+        except (OSError, pickle.UnpicklingError):
+            pass
+    scale = args.scale if args.scale is not None else resolve_preset(args.preset).scale
+    world = PaperWorld.build(seed=args.seed, scale=scale, quiet=args.quiet)
+    if args.cache:
+        with open(args.cache, "wb") as handle:
+            pickle.dump(world, handle)
+        if not args.quiet:
+            print(f"(cached world to {args.cache})", file=sys.stderr)
+    return world
+
+
+# ---------------------------------------------------------------------------
+# Artifact renderers
+# ---------------------------------------------------------------------------
+
+
+def _parsed(world):
+    from repro.analysis import parse_sample
+
+    return [parse_sample(s) for s in world.onp.monlist_samples]
+
+
+def _victim_report(world):
+    from repro.analysis import analyze_dataset
+    from repro.attack import ONP_PROBER_IP
+
+    return analyze_dataset(_parsed(world), onp_ip=ONP_PROBER_IP)
+
+
+def _fig1(world):
+    from repro.analysis import traffic_fractions
+    from repro.reporting.figures import ascii_chart
+
+    series = traffic_fractions(world.arbor)
+    ntp = [(d, f) for d, f, _ in series]
+    return ascii_chart(ntp, log=True, title="Fig 1: NTP fraction of Internet traffic (log y)")
+
+
+def _fig2(world):
+    from repro.analysis import attack_fraction_rows
+    from repro.reporting import render_table
+
+    rows = attack_fraction_rows(world.arbor)
+    return render_table(
+        ["Month", "Small", "Medium", "Large", "All"],
+        [[r.month, f"{r.small:.2f}", f"{r.medium:.2f}", f"{r.large:.2f}", f"{r.overall:.3f}"] for r in rows],
+        title="Fig 2: NTP fraction of monthly DDoS attacks by size bin",
+    )
+
+
+def _fig3(world):
+    from repro.analysis import amplifier_counts
+    from repro.reporting.figures import ascii_chart
+    from repro.util import format_sim
+
+    rows = amplifier_counts(_parsed(world), world.table, world.pbl)
+    series = [(format_sim(r.t), r.ips) for r in rows]
+    return ascii_chart(series, log=True, title="Fig 3: monlist amplifier IPs (log y)", value_fmt="{:.0f}")
+
+
+def _fig4(world):
+    from repro.analysis import sample_baf_boxplot, version_sample_baf_boxplot
+    from repro.reporting import render_table
+    from repro.util import format_sim
+
+    parsed = _parsed(world)
+    rows = []
+    for p in parsed:
+        b = sample_baf_boxplot(p)
+        rows.append([format_sim(p.t), f"{b.q1:.1f}", f"{b.median:.1f}", f"{b.q3:.1f}", f"{b.maximum:.1e}"])
+    out = [render_table(["Sample", "Q1", "Median", "Q3", "Max"], rows, title="Fig 4b: monlist BAF")]
+    vrows = []
+    for s in world.onp.version_samples:
+        b = version_sample_baf_boxplot(s)
+        vrows.append([format_sim(s.t), f"{b.q1:.2f}", f"{b.median:.2f}", f"{b.q3:.2f}", f"{b.maximum:.1e}"])
+    out.append(render_table(["Sample", "Q1", "Median", "Q3", "Max"], vrows, title="Fig 4c: version BAF"))
+    return "\n\n".join(out)
+
+
+def _fig5(world):
+    from repro.analysis import as_concentration
+    from repro.reporting.figures import ascii_bars
+
+    conc = as_concentration(_victim_report(world), world.table)
+    rows = []
+    for k in (1, 3, 10, 30, 100):
+        rows.append((f"top {k}", conc.victim_ecdf.fraction_within_top(k)))
+    ovh = world.registry.special["HOSTING-FR-1"]
+    chart = ascii_bars(rows, title="Fig 5: victim-packet share by top victim ASes")
+    return chart + f"\nOVH-like AS rank: {conc.victim_as_rank(ovh.asn)} (paper: 1)"
+
+
+def _fig6(world):
+    from repro.reporting import render_table
+    from repro.util import format_sim
+
+    rows = [
+        [format_sim(t), f"{mean:.2e}", f"{median:.0f}", f"{p95:.2e}"]
+        for t, mean, median, p95 in _victim_report(world).victim_packet_stats()
+    ]
+    return render_table(["Sample", "Mean", "Median", "95th"], rows, title="Fig 6: packets per victim")
+
+
+def _fig7(world):
+    from collections import defaultdict
+
+    from repro.reporting.figures import ascii_chart
+    from repro.util import format_sim
+
+    hours = _victim_report(world).attacks_per_hour()
+    daily = defaultdict(int)
+    for hour, count in hours.items():
+        daily[hour // 24] += count
+    series = [(format_sim(d * 86400), daily[d]) for d in sorted(daily)]
+    return ascii_chart(series, title="Fig 7: attacks per day (derived starts)", value_fmt="{:.0f}")
+
+
+def _fig8(world):
+    from repro.analysis import darknet_report
+    from repro.reporting import render_table
+
+    report = darknet_report(world.darknet)
+    rows = [
+        [month, f"{v['benign']:.0f}", f"{v['other']:.0f}", f"{report.benign_fractions[month]:.2f}"]
+        for month, v in report.monthly_per_slash24.items()
+    ]
+    return render_table(
+        ["Month", "Benign pkts//24", "Other pkts//24", "Benign frac"],
+        rows,
+        title="Fig 8: darknet NTP scanning volume",
+    )
+
+
+def _fig9(world):
+    from repro.analysis import daily_attack_counts, darknet_report, scanning_leads_attacks_by
+    from repro.reporting.figures import sparkline
+
+    report = darknet_report(world.darknet)
+    scanners = report.daily_unique_scanners
+    attacks = daily_attack_counts(world.attacks)
+    days = sorted(set(scanners) | set(attacks))
+    lead = scanning_leads_attacks_by(scanners, attacks)
+    return (
+        "Fig 9: scanners (top) vs attacks (bottom), per day\n"
+        f"  [{sparkline([scanners.get(d, 0) for d in days], width=72)}]\n"
+        f"  [{sparkline([attacks.get(d, 0) for d in days], width=72)}]\n"
+        f"scanning leads attacks by {lead} days (paper: about a week)"
+    )
+
+
+def _fig10(world):
+    from repro.analysis import pool_relative_to_peak
+    from repro.reporting.figures import sparkline
+
+    parsed = _parsed(world)
+    monlist = pool_relative_to_peak([(p.t, len(p.amplifier_ips())) for p in parsed])
+    version = pool_relative_to_peak([(s.t, len(s)) for s in world.onp.version_samples])
+    dns = pool_relative_to_peak([(s.t, s.count) for s in world.dns_pool.weekly_series(n_weeks=60)])
+    return (
+        "Fig 10: pool size relative to peak\n"
+        f"  monlist [{sparkline([f for _, f in monlist])}] -> {monlist[-1][1]:.2f}\n"
+        f"  version [{sparkline([f for _, f in version])}] -> {version[-1][1]:.2f}\n"
+        f"  openDNS [{sparkline([f for _, f in dns])}] -> {dns[-1][1]:.2f}"
+    )
+
+
+def _site_series(world, site_name, arrays):
+    from repro.reporting.figures import sparkline
+
+    site = world.isp.sites[site_name]
+    lines = [f"{site_name} NTP traffic (hourly, Dec-Feb):"]
+    for label, array in arrays.items():
+        series = site.hourly_mbps(array)
+        lines.append(f"  {label:<14} [{sparkline(series, width=72)}] peak {series.max():.1f} MB/s")
+    return "\n".join(lines)
+
+
+def _fig11(world):
+    site = world.isp.sites["merit"]
+    return "Fig 11: " + _site_series(
+        world, "merit", {"sport=123 out": site.ntp_out, "dport=123 in": site.ntp_in_queries}
+    )
+
+
+def _fig12(world):
+    csu = world.isp.sites["csu"]
+    frgp = world.isp.sites["frgp"]
+    return (
+        "Fig 12: "
+        + _site_series(world, "csu", {"sport=123 out": csu.ntp_out})
+        + "\n"
+        + _site_series(world, "frgp", {"sport=123 in": frgp.ntp_in_reflected, "sport=123 out": frgp.ntp_out})
+    )
+
+
+def _fig13(world):
+    from repro.reporting.figures import sparkline
+
+    merit = world.isp.sites["merit"]
+    lines = ["Fig 13: top-5 victims of Merit amplifiers (hourly egress)"]
+    for victim in merit.top_victims(5):
+        series = merit.victim_series_mbps(victim.ip)
+        lines.append(
+            f"  AS{victim.asn:<6} [{sparkline(series, width=64)}] {victim.gb:.1f} GB via "
+            f"{len(victim.amplifiers)} amps"
+        )
+    return "\n".join(lines)
+
+
+def _fig14(world):
+    from repro.reporting.figures import sparkline
+    from repro.util import RngStream
+
+    merit = world.isp.sites["merit"]
+    background = merit.background_series(RngStream(77, "fig14").generator)
+    ntp = merit.ntp_out + merit.ntp_in_reflected + merit.ntp_in_queries
+    lines = ["Fig 14: Merit traffic by protocol (hourly bytes)"]
+    for label, series in list(background.items()) + [("ntp", ntp)]:
+        lines.append(f"  {label:<6} [{sparkline(series, width=72)}]")
+    return "\n".join(lines)
+
+
+def _fig15(world):
+    from repro.net import format_ip
+
+    common = world.isp.common_victims("merit", "frgp")
+    merit, frgp = world.isp.sites["merit"], world.isp.sites["frgp"]
+    lines = [f"Fig 15: {len(common)} victims common to Merit and FRGP (GB merit/frgp)"]
+    ranked = sorted(
+        common, key=lambda ip: merit.victim_forensics[ip].gb + frgp.victim_forensics[ip].gb, reverse=True
+    )
+    for ip in ranked[:8]:
+        lines.append(
+            f"  {format_ip(ip):<16} {merit.victim_forensics[ip].gb:8.2f} / "
+            f"{frgp.victim_forensics[ip].gb:8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _fig16(world):
+    from repro.analysis import common_scanner_timeline, ttl_forensics
+    from repro.util import format_sim
+
+    timeline = common_scanner_timeline(world.isp)
+    forensics = ttl_forensics(world.sweeps, world.attacks, world.isp.sites["csu"].spec.asns)
+    days = sorted(timeline)
+    lines = ["Fig 16: common Merit/CSU scanners per day (first/last shown)"]
+    for day in days[:4] + days[-4:]:
+        lines.append(f"  {format_sim(day * 86400)}: {timeline[day]}")
+    lines.append(
+        f"TTL forensics: scanning mode {forensics.scan_ttl_mode} (Linux), "
+        f"attacks mode {forensics.attack_ttl_mode} (Windows)"
+    )
+    return "\n".join(lines)
+
+
+def _table1(world):
+    from repro.analysis import amplifier_counts
+    from repro.net import aggregate_counts
+    from repro.reporting import render_table1
+
+    parsed = _parsed(world)
+    report = _victim_report(world)
+    amp_rows = amplifier_counts(parsed, world.table, world.pbl)
+    victim_rows = []
+    for sample in report.samples:
+        ips = sample.victim_ips()
+        agg = aggregate_counts(ips, world.table)
+        end = world.pbl.end_host_count(ips)
+        victim_rows.append(
+            {
+                "ips": agg.ips,
+                "blocks": agg.blocks,
+                "asns": agg.asns,
+                "end_host_fraction": end / agg.ips if agg.ips else 0.0,
+                "ips_per_block": agg.ips_per_block,
+            }
+        )
+    return render_table1(amp_rows, victim_rows)
+
+
+def _table2(world):
+    from repro.analysis import parse_version_captures
+    from repro.reporting import render_table2
+
+    captures = [c for s in world.onp.version_samples for c in s.captures]
+    report = parse_version_captures(captures)
+    amplifier_ips = {h.ip for h in world.hosts.monlist_hosts}
+    mega_ips = {h.ip for h in world.hosts.mega_hosts()}
+    non_amp = report.restrict_to({r.ip for r in report.records} - amplifier_ips)
+    text = render_table2(
+        report.restrict_to(mega_ips).os_distribution(),
+        report.restrict_to(amplifier_ips).os_distribution(),
+        non_amp.os_distribution(),
+    )
+    cdf = report.compile_year_cdf()
+    return text + (
+        f"\nstratum 16: {report.stratum16_fraction():.2f} (paper 0.19); "
+        f"compiled pre-2004: {cdf[2004]:.2f} (paper 0.13)"
+    )
+
+
+def _table3(world):
+    from repro.analysis import reconstruct_table
+    from repro.attack import ONP_PROBER_IP
+    from repro.reporting import render_monlist_table
+
+    sample = world.onp.monlist_samples[min(6, len(world.onp.monlist_samples) - 1)]
+    for capture in sample.captures:
+        table = reconstruct_table(capture)
+        if table.entries and table.entries[0].addr == ONP_PROBER_IP and len(table.entries) >= 4:
+            return render_monlist_table(table.entries[:8], title="Table 3: an amplifier's monlist table")
+    return "(no probe-topped table found)"
+
+
+def _table4(world):
+    from repro.reporting import render_table4
+
+    return render_table4(_victim_report(world).port_table(top=20))
+
+
+def _table5(world):
+    from repro.analysis import top_amplifier_table
+    from repro.reporting import render_table5
+
+    return (
+        render_table5("Merit", top_amplifier_table(world.isp.sites["merit"]))
+        + "\n\n"
+        + render_table5("CSU", top_amplifier_table(world.isp.sites["csu"]))
+    )
+
+
+def _table6(world):
+    from repro.analysis import top_victim_table
+    from repro.reporting import render_table6
+
+    return (
+        render_table6("Merit", top_victim_table(world.isp.sites["merit"], world.table, world.geo))
+        + "\n\n"
+        + render_table6("FRGP/CSU", top_victim_table(world.isp.sites["frgp"], world.table, world.geo))
+    )
+
+
+def _validate(world):
+    from repro.analysis import as_concentration
+    from repro.analysis.validation import validate_ovh_event
+
+    concentration = as_concentration(_victim_report(world), world.table)
+    ovh = world.registry.special["HOSTING-FR-1"]
+    result = validate_ovh_event(
+        world.attacks, _parsed(world), concentration, world.table, ovh.asn
+    )
+    return (
+        "§4.4 cross-dataset validation (the OVH/CloudFlare event):\n"
+        f"  event attacks on the hoster: {result.event_attacks}\n"
+        f"  amplifier ASes in the event ('disclosed'): {result.disclosed_asns}\n"
+        f"  ... also present in the ONP data: {result.overlapping_asns} "
+        f"({100 * result.asn_overlap_fraction:.0f}%; paper: 1291/1297 = 99.5%)\n"
+        f"  victim-packet share of overlapping ASes: {result.victim_packet_share:.2f} (paper: 0.60)\n"
+        f"  target AS victim rank: {result.target_as_rank} (paper: 1)"
+    )
+
+
+ARTIFACTS = {
+    "F1": ("Fig 1: global NTP/DNS traffic fractions", _fig1),
+    "F2": ("Fig 2: NTP share of attacks by size bin", _fig2),
+    "F3": ("Fig 3: amplifier counts", _fig3),
+    "F4": ("Fig 4: BAF boxplots (monlist + version)", _fig4),
+    "F5": ("Fig 5: victim AS concentration", _fig5),
+    "F6": ("Fig 6: packets per victim", _fig6),
+    "F7": ("Fig 7: attacks per day", _fig7),
+    "F8": ("Fig 8: darknet scan volume", _fig8),
+    "F9": ("Fig 9: scanners vs attacks lead-lag", _fig9),
+    "F10": ("Fig 10: remediation of three pools", _fig10),
+    "F11": ("Fig 11: Merit NTP traffic", _fig11),
+    "F12": ("Fig 12: CSU/FRGP NTP traffic", _fig12),
+    "F13": ("Fig 13: top Merit victims", _fig13),
+    "F14": ("Fig 14: Merit traffic by protocol", _fig14),
+    "F15": ("Fig 15: common Merit/FRGP victims", _fig15),
+    "F16": ("Fig 16: common scanners + TTL forensics", _fig16),
+    "T1": ("Table 1: populations", _table1),
+    "T2": ("Table 2: OS strings", _table2),
+    "T3": ("Table 3: monlist example", _table3),
+    "T4": ("Table 4: attacked ports", _table4),
+    "T5": ("Table 5: top local amplifiers", _table5),
+    "T6": ("Table 6: top local victims", _table6),
+}
+
+
+def render_artifact(world, artifact_id):
+    """Render one artifact by id (``F1``..``F16``, ``T1``..``T6``)."""
+    key = artifact_id.upper()
+    if key not in ARTIFACTS:
+        raise KeyError(f"unknown artifact {artifact_id!r}; choose from {sorted(ARTIFACTS)}")
+    _, renderer = ARTIFACTS[key]
+    return renderer(world)
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def _add_world_args(parser):
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--scale", type=float, default=None, help="overrides --preset")
+    parser.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    parser.add_argument("--cache", default=None, help="pickle path to cache/reuse the world")
+    parser.add_argument("--quiet", action="store_true", default=False)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate artifacts of the NTP DDoS paper."
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = subparsers.add_parser("summary", help="headline findings vs the paper")
+    _add_world_args(p_summary)
+
+    p_figure = subparsers.add_parser("figure", help="render figures F1..F16")
+    p_figure.add_argument("ids", nargs="+", metavar="F#")
+    _add_world_args(p_figure)
+
+    p_table = subparsers.add_parser("table", help="render tables T1..T6")
+    p_table.add_argument("ids", nargs="+", metavar="T#")
+    _add_world_args(p_table)
+
+    p_validate = subparsers.add_parser("validate", help="§4.4 cross-dataset validation")
+    _add_world_args(p_validate)
+
+    subparsers.add_parser("list", help="list artifacts and presets")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print("Artifacts:")
+        for key, (description, _) in ARTIFACTS.items():
+            print(f"  {key:>3}  {description}")
+        print("Presets:")
+        for preset in PRESETS.values():
+            print(f"  {preset.name:>8}  scale={preset.scale}  {preset.description}")
+        return 0
+
+    world = build_or_load_world(args)
+    if args.command == "summary":
+        print(world.summary())
+    elif args.command in ("figure", "table"):
+        for artifact_id in args.ids:
+            print(render_artifact(world, artifact_id))
+            print()
+    elif args.command == "validate":
+        print(_validate(world))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Measurement apparatus: the paper's five data-collection vantage points."""
+
+from repro.measurement.amplifier_state import AmplifierStateManager
+from repro.measurement.arbor import (
+    ArborCollector,
+    ArborDataset,
+    DailyTraffic,
+    MonthlyAttackStats,
+    SIZE_LARGE,
+    SIZE_MEDIUM,
+    SIZE_SMALL,
+    size_bin,
+)
+from repro.measurement.isp import (
+    CSU_FRGP_WINDOW,
+    IspMeasurement,
+    MERIT_WINDOW,
+    SiteDataset,
+    SiteSpec,
+)
+from repro.measurement.onp import (
+    MONLIST_SAMPLE_TIMES,
+    OnpDataset,
+    OnpProber,
+    OnpSample,
+    ProbeCapture,
+    VERSION_SAMPLE_TIMES,
+)
+
+__all__ = [
+    "AmplifierStateManager",
+    "ArborCollector",
+    "ArborDataset",
+    "DailyTraffic",
+    "MonthlyAttackStats",
+    "SIZE_LARGE",
+    "SIZE_MEDIUM",
+    "SIZE_SMALL",
+    "size_bin",
+    "CSU_FRGP_WINDOW",
+    "IspMeasurement",
+    "MERIT_WINDOW",
+    "SiteDataset",
+    "SiteSpec",
+    "MONLIST_SAMPLE_TIMES",
+    "OnpDataset",
+    "OnpProber",
+    "OnpSample",
+    "ProbeCapture",
+    "VERSION_SAMPLE_TIMES",
+]

@@ -1,0 +1,170 @@
+"""The OpenNTPProject-style active prober (§3's ONP dataset).
+
+Weekly, from one measurement-network source IP, the prober sends every IPv4
+address a single NTP packet and captures all response packets:
+
+* **monlist scans** (mode 7, implementation ``IMPL_XNTPD`` only — the
+  paper's scans used one of the two implementation codes, its main
+  acknowledged undercount) — fifteen samples, 2014-01-10 .. 2014-04-18;
+* **version scans** (mode 6 READVAR) — nine samples from 2014-02-21.
+
+Captures store raw packet bytes; the analysis layer re-parses them with the
+ntpdc protocol logic, exactly as the paper did.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.attack.scanner import ONP_PROBER_IP
+from repro.ntp.constants import IMPL_XNTPD
+from repro.util.simtime import WEEK, date_to_sim, format_sim, week_samples
+
+__all__ = [
+    "MONLIST_SAMPLE_TIMES",
+    "VERSION_SAMPLE_TIMES",
+    "ProbeCapture",
+    "OnpSample",
+    "OnpDataset",
+    "OnpProber",
+]
+
+MONLIST_SAMPLE_TIMES = week_samples(date_to_sim(2014, 1, 10), 15)
+VERSION_SAMPLE_TIMES = week_samples(date_to_sim(2014, 2, 21), 9)
+
+
+@dataclass(frozen=True)
+class ProbeCapture:
+    """All response packets one target sent to one probe.
+
+    ``packets`` is one rendition; mega amplifiers repeat it ``n_repeats``
+    times (§3.4), so aggregate sizes are exact without materializing
+    gigabytes.
+    """
+
+    target_ip: int
+    t: float
+    packets: tuple
+    n_repeats: int = 1
+
+    @property
+    def total_packets(self):
+        return len(self.packets) * self.n_repeats
+
+    @property
+    def total_payload_bytes(self):
+        return sum(len(p) for p in self.packets) * self.n_repeats
+
+
+@dataclass
+class OnpSample:
+    """One Internet-wide scan: a date and every capture it produced."""
+
+    t: float
+    mode: int
+    captures: list = field(default_factory=list)
+
+    @property
+    def date(self):
+        return format_sim(self.t)
+
+    def __len__(self):
+        return len(self.captures)
+
+    def responder_ips(self):
+        return {c.target_ip for c in self.captures}
+
+
+@dataclass
+class OnpDataset:
+    """The full ONP corpus: 15 monlist samples + 9 version samples."""
+
+    monlist_samples: list = field(default_factory=list)
+    version_samples: list = field(default_factory=list)
+
+    def monlist_unique_ips(self):
+        out = set()
+        for sample in self.monlist_samples:
+            out |= sample.responder_ips()
+        return out
+
+
+class OnpProber:
+    """Runs the weekly sweeps against the simulated world."""
+
+    def __init__(self, state_manager, prober_ip=ONP_PROBER_IP, loss_rate=0.05):
+        if not 0 <= loss_rate < 1:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self._state = state_manager
+        self._ip = prober_ip
+        self._loss = loss_rate
+
+    def run_monlist_sample(self, host_pool, t, rng):
+        """One IPv4-wide monlist sweep at time ``t``.
+
+        Every *existing* host is probed (the sweep covers all of IPv4);
+        only hosts that are monlist-active for the probed implementation
+        reply.  A small loss rate models rate-limiting and filtering of
+        the single scanning source.
+        """
+        sample = OnpSample(t=t, mode=7)
+        for host in host_pool.monlist_hosts:
+            # Remediated hosts never answer again, and their table contents
+            # are unobservable, so they can be skipped outright.
+            if not host.monlist_active(t):
+                continue
+            server = self._state.sync(host, t)
+            reply = server.respond_monlist(self._ip, 50557 + (int(t) % 1000), t, IMPL_XNTPD)
+            if reply is None:
+                continue
+            if rng.random() < self._loss:
+                continue
+            sample.captures.append(
+                ProbeCapture(
+                    target_ip=host.ip,
+                    t=t,
+                    packets=reply.packets,
+                    n_repeats=reply.n_repeats,
+                )
+            )
+        return sample
+
+    def run_version_sample(self, host_pool, t, rng):
+        """One IPv4-wide mode-6 version sweep at time ``t``."""
+        sample = OnpSample(t=t, mode=6)
+        for host in host_pool.version_hosts:
+            if not host.version_active(t):
+                continue
+            if rng.random() < self._loss:
+                continue
+            # Version replies don't depend on monitor-table state, so no
+            # table sync is needed — the probe is still recorded.
+            server = self._state.server_for(host)
+            reply = server.respond_version(self._ip, 50557, t)
+            if reply is None:
+                continue
+            sample.captures.append(
+                ProbeCapture(
+                    target_ip=host.ip,
+                    t=t,
+                    packets=reply.packets,
+                    n_repeats=reply.n_repeats,
+                )
+            )
+        return sample
+
+    def run_all(self, host_pool, rng, monlist_times=None, version_times=None):
+        """The full campaign, interleaved chronologically (table syncs must
+        advance monotonically); returns an :class:`OnpDataset`."""
+        dataset = OnpDataset()
+        schedule = [(t, 7) for t in (monlist_times or MONLIST_SAMPLE_TIMES)]
+        schedule += [(t, 6) for t in (version_times or VERSION_SAMPLE_TIMES)]
+        schedule.sort()
+        for t, mode in schedule:
+            if mode == 7:
+                dataset.monlist_samples.append(
+                    self.run_monlist_sample(host_pool, t, rng.child(f"monlist-{int(t)}"))
+                )
+            else:
+                dataset.version_samples.append(
+                    self.run_version_sample(host_pool, t, rng.child(f"version-{int(t)}"))
+                )
+        return dataset

@@ -1,0 +1,26 @@
+"""Mitigation mechanics (§6, §7.1, and the paper's future-work questions).
+
+Three levers the paper discusses but could not experiment with:
+
+* :mod:`repro.mitigation.notification` — the CERT/direct-operator
+  notification campaigns of §6.4 (Kührer et al.), modeled as a hazard
+  boost whose effect can be switched off for counterfactual runs;
+* :mod:`repro.mitigation.ratelimit` — the NTP rate limits Merit deployed
+  during the early attacks (§7.1), applied to flow series;
+* :mod:`repro.mitigation.bcp38` — source-address-validation adoption
+  (BCP 38/84): spoofed attack traffic from filtered networks never
+  reaches the amplifiers.
+"""
+
+from repro.mitigation.bcp38 import Bcp38Policy, filter_attacks
+from repro.mitigation.notification import NotificationCampaign, notified_remediation_model
+from repro.mitigation.ratelimit import RateLimitResult, apply_rate_limit
+
+__all__ = [
+    "Bcp38Policy",
+    "filter_attacks",
+    "NotificationCampaign",
+    "notified_remediation_model",
+    "RateLimitResult",
+    "apply_rate_limit",
+]

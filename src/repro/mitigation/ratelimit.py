@@ -1,0 +1,58 @@
+"""ISP-side NTP rate limiting (§7.1).
+
+"During the early stages of the attacks, Merit also put in place traffic
+rate limits on NTP traffic to minimize the impact of these attacks to its
+customers."  This module applies a token-bucket-shaped cap to an hourly
+flow series from a given activation time, reporting how much attack volume
+the limiter absorbed — the operator's-eye view of mitigation value.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.simtime import HOUR
+
+__all__ = ["RateLimitResult", "apply_rate_limit"]
+
+
+@dataclass(frozen=True)
+class RateLimitResult:
+    """Outcome of applying a rate limit to a series."""
+
+    limited: np.ndarray
+    dropped_bytes: float
+    passed_bytes: float
+    activation_hour: int
+
+    @property
+    def dropped_fraction(self):
+        total = self.dropped_bytes + self.passed_bytes
+        if total == 0:
+            return 0.0
+        return self.dropped_bytes / total
+
+
+def apply_rate_limit(series_bytes_per_hour, cap_bps, activation_hour=0):
+    """Cap an hourly byte series at ``cap_bps`` from ``activation_hour`` on.
+
+    Returns a :class:`RateLimitResult` with the shaped series and the
+    dropped/passed accounting (over the active region only).
+    """
+    series = np.asarray(series_bytes_per_hour, dtype=float)
+    if cap_bps <= 0:
+        raise ValueError("cap must be positive")
+    if not 0 <= activation_hour <= len(series):
+        raise ValueError("activation hour outside the series")
+    cap_bytes = cap_bps / 8.0 * HOUR
+    limited = series.copy()
+    active = limited[activation_hour:]
+    dropped = float(np.clip(active - cap_bytes, 0.0, None).sum())
+    passed = float(np.minimum(active, cap_bytes).sum())
+    limited[activation_hour:] = np.minimum(active, cap_bytes)
+    return RateLimitResult(
+        limited=limited,
+        dropped_bytes=dropped,
+        passed_bytes=passed,
+        activation_hour=activation_hour,
+    )

@@ -1,0 +1,43 @@
+"""Networking substrate: addresses, framing, routing, AS registry, PBL, geo."""
+
+from repro.net.ipv4 import (
+    Prefix,
+    format_ip,
+    ip_in_prefix,
+    parse_ip,
+    slash24_of,
+)
+from repro.net.framing import (
+    ETHERNET_OVERHEAD,
+    MIN_ONWIRE_FRAME,
+    UDP_IP_HEADERS,
+    on_wire_bytes,
+    udp_datagram_bytes,
+)
+from repro.net.trie import PrefixTrie
+from repro.net.routing import RoutedBlockTable, aggregate_counts
+from repro.net.asn import ASRegistry, AutonomousSystem, NetworkKind
+from repro.net.geo import CONTINENT_OF, GeoView
+from repro.net.pbl import PolicyBlockList
+
+__all__ = [
+    "Prefix",
+    "format_ip",
+    "ip_in_prefix",
+    "parse_ip",
+    "slash24_of",
+    "ETHERNET_OVERHEAD",
+    "MIN_ONWIRE_FRAME",
+    "UDP_IP_HEADERS",
+    "on_wire_bytes",
+    "udp_datagram_bytes",
+    "PrefixTrie",
+    "RoutedBlockTable",
+    "aggregate_counts",
+    "ASRegistry",
+    "AutonomousSystem",
+    "NetworkKind",
+    "CONTINENT_OF",
+    "GeoView",
+    "PolicyBlockList",
+]

@@ -1,0 +1,77 @@
+"""Normal NTP client behavior.
+
+Legitimate clients (mode 3 pollers) matter to the reproduction because they
+populate monlist tables with *non-victim* entries — the background the
+victim-classification filter of §4.2 must reject.
+"""
+
+from dataclasses import dataclass
+
+from repro.ntp.constants import MODE_CLIENT
+from repro.ntp.wire import encode_mode3
+
+__all__ = ["ClientProfile", "NtpClient", "sync_background_clients"]
+
+#: ntpd polls between 2**6 (64 s) and 2**10 (1024 s) by default.
+DEFAULT_POLL_SECONDS = 1024.0
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """One background client of a server: who it is and how often it polls."""
+
+    ip: int
+    port: int
+    poll_interval: float
+    first_poll: float
+
+    def polls_between(self, start, end):
+        """Number of polls in the half-open window (start, end]."""
+        if end <= start or end < self.first_poll:
+            return 0
+        lo = max(start, self.first_poll - self.poll_interval)
+        return max(0, int((end - self.first_poll) // self.poll_interval) - max(
+            -1, int((lo - self.first_poll) // self.poll_interval)
+        ))
+
+    def last_poll_before(self, t):
+        """Time of the latest poll at or before ``t``, or None."""
+        if t < self.first_poll:
+            return None
+        k = int((t - self.first_poll) // self.poll_interval)
+        return self.first_poll + k * self.poll_interval
+
+
+class NtpClient:
+    """A byte-level mode-3 client (used by examples and protocol tests)."""
+
+    def __init__(self, ip, port=123):
+        self.ip = ip
+        self.port = port
+
+    def build_poll(self):
+        return encode_mode3()
+
+    def poll(self, server, now):
+        """Send one poll to a simulated server; returns the reply packets."""
+        reply = server.handle_datagram(self.build_poll(), self.ip, self.port, now)
+        return [] if reply is None else list(reply.packets)
+
+
+def sync_background_clients(server, profiles, since, now):
+    """Fold each profile's polls in ``(since, now]`` into the server's table.
+
+    This is the bulk path the scenario uses instead of simulating every poll
+    as an event: per client, one aggregate ``record`` carrying the number of
+    polls and their span.  The rendered table is byte-identical to the
+    per-packet path because the monitor table only stores count/first/last.
+    """
+    for profile in profiles:
+        n = profile.polls_between(since, now)
+        if n <= 0:
+            continue
+        last = profile.last_poll_before(now)
+        span = (n - 1) * profile.poll_interval
+        server.record_client(
+            profile.ip, profile.port, MODE_CLIENT, 4, last, packets=n, span=span
+        )

@@ -1,0 +1,199 @@
+"""The ntpd monitor (monlist) MRU table.
+
+``ntpd`` records every peer that talks to it — normal clients, control
+queries, private-mode queries, and (crucially for the paper) spoofed victims
+— in a most-recently-used list.  The ``monlist`` command dumps up to the 600
+most recent entries.  This is the data structure whose dump the whole
+victimology pipeline (§4) parses.
+
+Implementation notes
+--------------------
+The table is keyed by remote address.  Rendering sorts by last-seen time, so
+records may be inserted with out-of-order timestamps (the scenario layer
+applies aggregate updates); capacity enforcement is lazy — the table prunes
+to the 600 most recent entries when it grows past twice the capacity, and
+rendering always truncates to the capacity.
+"""
+
+from dataclasses import dataclass
+
+from repro.ntp.constants import (
+    MON_ENTRY_V1_SIZE,
+    MON_ENTRY_V2_SIZE,
+    MONLIST_CAPACITY,
+    REQ_MON_GETLIST,
+    REQ_MON_GETLIST_1,
+    items_per_packet,
+)
+from repro.ntp.wire import MonitorEntry, encode_mode7_response, encode_monitor_entry
+
+__all__ = ["MonlistRecord", "MonlistTable"]
+
+
+@dataclass
+class MonlistRecord:
+    """Mutable per-client state inside the MRU table."""
+
+    addr: int
+    port: int
+    mode: int
+    version: int
+    count: int
+    first_seen: float
+    last_seen: float
+
+    def observe(self, now, packets=1, span=0.0, port=None, mode=None, version=None):
+        """Fold ``packets`` arriving over ``[now - span, now]`` into the record."""
+        if packets < 1:
+            raise ValueError("packets must be >= 1")
+        self.count += packets
+        if now > self.last_seen:
+            self.last_seen = now
+        self.first_seen = min(self.first_seen, now - span)
+        if port is not None:
+            self.port = port
+        if mode is not None:
+            self.mode = mode
+        if version is not None:
+            self.version = version
+
+
+class MonlistTable:
+    """MRU list of the clients a server has seen, capped for rendering."""
+
+    def __init__(self, capacity=MONLIST_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._records = {}
+
+    def __len__(self):
+        return min(len(self._records), self.capacity)
+
+    @property
+    def n_tracked(self):
+        """Distinct clients currently tracked (may exceed render capacity)."""
+        return len(self._records)
+
+    def clear(self):
+        """Flush the table (ntpd restart)."""
+        self._records.clear()
+
+    def record(self, addr, port, mode, version, now, packets=1, span=0.0):
+        """Record traffic from ``addr``: ``packets`` packets ending at ``now``
+        that arrived over the preceding ``span`` seconds."""
+        if span < 0:
+            raise ValueError("span must be non-negative")
+        if packets < 1:
+            raise ValueError("packets must be >= 1")
+        existing = self._records.get(addr)
+        if existing is None:
+            self._records[addr] = MonlistRecord(
+                addr=addr,
+                port=port,
+                mode=mode,
+                version=version,
+                count=packets,
+                first_seen=now - span,
+                last_seen=now,
+            )
+        else:
+            existing.observe(now, packets=packets, span=span, port=port, mode=mode, version=version)
+        if len(self._records) > 2 * self.capacity:
+            self._prune()
+
+    def _prune(self):
+        keep = sorted(self._records.values(), key=lambda r: r.last_seen, reverse=True)
+        keep = keep[: self.capacity]
+        self._records = {r.addr: r for r in keep}
+
+    def put_record(self, addr, port, mode, version, count, first_seen, last_seen):
+        """Set the absolute state of one client's record.
+
+        Used by the bulk-sync path, which recomputes a background client's
+        cumulative (count, first, last) analytically instead of replaying
+        individual polls; the result is identical to per-packet recording.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if last_seen < first_seen:
+            raise ValueError("last_seen must not precede first_seen")
+        self._records[addr] = MonlistRecord(
+            addr=addr,
+            port=port,
+            mode=mode,
+            version=version,
+            count=count,
+            first_seen=first_seen,
+            last_seen=last_seen,
+        )
+        if len(self._records) > 2 * self.capacity:
+            self._prune()
+
+    def get(self, addr):
+        return self._records.get(addr)
+
+    def __contains__(self, addr):
+        return addr in self._records
+
+    def entries_mru(self, now):
+        """The renderable entries, most recent first, capped at capacity.
+
+        ``last_int``/``first_int`` are computed relative to ``now``, exactly
+        as ntpd reports them (seconds ago, floored at zero).
+        """
+        ordered = sorted(self._records.values(), key=lambda r: r.last_seen, reverse=True)
+        out = []
+        for rec in ordered[: self.capacity]:
+            out.append(
+                MonitorEntry(
+                    last_int=max(0, int(now - rec.last_seen)),
+                    first_int=max(0, int(now - rec.first_seen)),
+                    count=rec.count,
+                    addr=rec.addr,
+                    daddr=0,
+                    flags=0,
+                    port=rec.port,
+                    mode=rec.mode,
+                    version=rec.version,
+                )
+            )
+        return out
+
+    def render_response_packets(self, now, entry_version, implementation, sequence_start=0):
+        """Encode the table as a series of mode-7 response packets.
+
+        Returns a list of raw packets.  The request code and item size follow
+        from the entry version; the "more" bit is set on all but the last
+        packet and the 7-bit sequence number wraps as in ntpd.
+        """
+        if entry_version == 2:
+            item_size = MON_ENTRY_V2_SIZE
+            request_code = REQ_MON_GETLIST_1
+        elif entry_version == 1:
+            item_size = MON_ENTRY_V1_SIZE
+            request_code = REQ_MON_GETLIST
+        else:
+            raise ValueError(f"unknown entry version {entry_version}")
+        entries = self.entries_mru(now)
+        per_packet = items_per_packet(item_size)
+        packets = []
+        if not entries:
+            packets.append(
+                encode_mode7_response(implementation, request_code, sequence_start % 128, False, [], item_size)
+            )
+            return packets
+        chunks = [entries[i : i + per_packet] for i in range(0, len(entries), per_packet)]
+        for index, chunk in enumerate(chunks):
+            encoded = [encode_monitor_entry(e, entry_version) for e in chunk]
+            packets.append(
+                encode_mode7_response(
+                    implementation,
+                    request_code,
+                    (sequence_start + index) % 128,
+                    more=index < len(chunks) - 1,
+                    items=encoded,
+                    item_size=item_size,
+                )
+            )
+        return packets

@@ -1,0 +1,68 @@
+"""Population models: NTP hosts, amplifier pools, victims, DNS resolvers."""
+
+from repro.population.amplifiers import (
+    BackgroundClients,
+    HostPool,
+    NtpHost,
+    PoolParams,
+    build_host_pool,
+)
+from repro.population.dns_resolvers import DNS_PEAK_FULL, DNS_PUBLICITY_START, DnsResolverPool
+from repro.population.osmodel import (
+    COMPILE_YEAR_BUCKETS,
+    OS_ALL_NTP,
+    OS_AMPLIFIERS,
+    OS_MEGA,
+    STRATUM16_FRACTION,
+    SystemAttributes,
+    sample_system_attributes,
+)
+from repro.population.ports import (
+    GAME_PORTS,
+    PORT_LABELS,
+    TABLE4_PORT_WEIGHTS,
+    sample_attack_port,
+)
+from repro.population.remediation import (
+    CONTINENT_MULTIPLIER,
+    END_HOST_MULTIPLIER,
+    RemediationModel,
+    SurvivalCurve,
+    dns_survival_curve,
+    monlist_survival_curve,
+    version_survival_curve,
+)
+from repro.population.victims import Victim, VictimParams, VictimPool, build_victim_pool
+
+__all__ = [
+    "BackgroundClients",
+    "HostPool",
+    "NtpHost",
+    "PoolParams",
+    "build_host_pool",
+    "DNS_PEAK_FULL",
+    "DNS_PUBLICITY_START",
+    "DnsResolverPool",
+    "COMPILE_YEAR_BUCKETS",
+    "OS_ALL_NTP",
+    "OS_AMPLIFIERS",
+    "OS_MEGA",
+    "STRATUM16_FRACTION",
+    "SystemAttributes",
+    "sample_system_attributes",
+    "GAME_PORTS",
+    "PORT_LABELS",
+    "TABLE4_PORT_WEIGHTS",
+    "sample_attack_port",
+    "CONTINENT_MULTIPLIER",
+    "END_HOST_MULTIPLIER",
+    "RemediationModel",
+    "SurvivalCurve",
+    "dns_survival_curve",
+    "monlist_survival_curve",
+    "version_survival_curve",
+    "Victim",
+    "VictimParams",
+    "VictimPool",
+    "build_victim_pool",
+]

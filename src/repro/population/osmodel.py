@@ -1,0 +1,189 @@
+"""Operating-system, stratum, and compile-year models for NTP hosts.
+
+The distributions are taken from the paper:
+
+* Table 2 gives OS-string distributions for three populations — the top-10k
+  "mega" amplifiers, all monlist amplifiers, and all NTP servers reporting
+  version information.
+* §3.3 reports that 19% of version responders are stratum 16
+  (unsynchronized) and gives the compile-year CDF of version strings
+  ("13% were compiled before 2004, ... only 21% in 2013 or 2014").
+"""
+
+from dataclasses import dataclass
+
+__all__ = [
+    "OS_ALL_NTP",
+    "OS_AMPLIFIERS",
+    "OS_MEGA",
+    "COMPILE_YEAR_BUCKETS",
+    "STRATUM16_FRACTION",
+    "SystemAttributes",
+    "sample_system_attributes",
+]
+
+#: Table 2, "All NTP" column (version-responding population).
+OS_ALL_NTP = {
+    "cisco": 0.4839,
+    "unix": 0.3064,
+    "linux": 0.1897,
+    "bsd": 0.0097,
+    "junos": 0.0033,
+    "sun": 0.0021,
+    "darwin": 0.0013,
+    "other": 0.0014,
+    "vmkernel": 0.0010,
+    "windows": 0.0007,
+    "secureos": 0.0003,
+    "qnx": 0.0002,
+}
+
+#: Table 2, "All Amplifiers" column (monlist responders).
+OS_AMPLIFIERS = {
+    "linux": 0.8022,
+    "bsd": 0.1108,
+    "junos": 0.0343,
+    "vmkernel": 0.0142,
+    "darwin": 0.0092,
+    "windows": 0.0084,
+    "unix": 0.0056,
+    "secureos": 0.0049,
+    "sun": 0.0025,
+    "qnx": 0.0022,
+    "cisco": 0.0017,
+    "other": 0.0041,
+}
+
+#: Table 2, "Mega (10k)" column.
+OS_MEGA = {
+    "linux": 0.4418,
+    "junos": 0.3585,
+    "bsd": 0.0918,
+    "cygwin": 0.0482,
+    "vmkernel": 0.0241,
+    "unix": 0.0201,
+    "windows": 0.0042,
+    "sun": 0.0037,
+    "secureos": 0.0025,
+    "isilon": 0.0023,
+    "other": 0.0021,
+    "cisco": 0.0006,
+}
+
+#: Compile-year buckets derived from §3.3's cumulative fractions:
+#: 13% < 2004, 23% < 2010, 48% < 2011, 59% < 2012, 79% < 2013, 21% >= 2013.
+COMPILE_YEAR_BUCKETS = [
+    ((1998, 2003), 0.13),
+    ((2004, 2009), 0.10),
+    ((2010, 2010), 0.25),
+    ((2011, 2011), 0.11),
+    ((2012, 2012), 0.20),
+    ((2013, 2013), 0.15),
+    ((2014, 2014), 0.06),
+]
+
+#: §3.3: "nearly a fifth, 19%, reported stratum 16".
+STRATUM16_FRACTION = 0.19
+
+#: Processor strings per system family (purely cosmetic but parsed back by
+#: the analysis, so they must be present).
+_PROCESSORS = {
+    "linux": "x86_64",
+    "unix": "sparc",
+    "cisco": "mips",
+    "bsd": "amd64",
+    "junos": "octeon",
+    "darwin": "x86_64",
+    "windows": "x86",
+    "sun": "sparcv9",
+    "vmkernel": "x86_64",
+    "secureos": "x86_64",
+    "qnx": "armle",
+    "cygwin": "x86",
+    "isilon": "x86_64",
+    "other": "unknown",
+}
+
+_SYSTEM_VERSIONS = {
+    "linux": "Linux/3.2.0",
+    "unix": "UNIX",
+    "cisco": "cisco",
+    "bsd": "FreeBSD/9.1",
+    "junos": "JUNOS12.1",
+    "darwin": "Darwin/12.5.0",
+    "windows": "Windows",
+    "sun": "SunOS5.10",
+    "vmkernel": "VMkernel/5.1.0",
+    "secureos": "SecureOS",
+    "qnx": "QNX",
+    "cygwin": "Cygwin",
+    "isilon": "Isilon OneFS",
+    "other": "unknown",
+}
+
+_DAEMON_VERSIONS = ["4.1.1", "4.2.0", "4.2.4p8", "4.2.6p3", "4.2.6p5", "4.2.7p404"]
+
+
+@dataclass(frozen=True)
+class SystemAttributes:
+    """The identity a server reports via the ``version`` command."""
+
+    os_family: str
+    system: str
+    processor: str
+    daemon_version: str
+    compile_year: int
+    stratum: int
+
+
+def _sample_from(distribution, rng, size):
+    families = list(distribution)
+    weights = [distribution[f] for f in families]
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    picks = rng.choice(len(families), size=size, p=weights)
+    return [families[int(i)] for i in picks]
+
+
+def _sample_compile_years(rng, size):
+    spans = [span for span, _ in COMPILE_YEAR_BUCKETS]
+    weights = [w for _, w in COMPILE_YEAR_BUCKETS]
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    bucket_ids = rng.choice(len(spans), size=size, p=weights)
+    years = []
+    for b in bucket_ids:
+        low, high = spans[int(b)]
+        years.append(int(rng.integers(low, high + 1)))
+    return years
+
+
+def sample_system_attributes(rng, size, population="all"):
+    """Sample ``size`` server identities from one of the three populations.
+
+    ``population`` is ``"all"`` (Table 2's All NTP), ``"amplifier"``, or
+    ``"mega"``.  Stratum is 16 with the §3.3 probability, otherwise 1-5
+    skewed toward 2-3.
+    """
+    distributions = {"all": OS_ALL_NTP, "amplifier": OS_AMPLIFIERS, "mega": OS_MEGA}
+    if population not in distributions:
+        raise ValueError(f"unknown population {population!r}")
+    families = _sample_from(distributions[population], rng, size)
+    years = _sample_compile_years(rng, size)
+    unsync = rng.bernoulli(STRATUM16_FRACTION, size=size)
+    strata = rng.choice([1, 2, 3, 4, 5], size=size, p=[0.03, 0.35, 0.40, 0.15, 0.07])
+    daemon_ids = rng.integers(0, len(_DAEMON_VERSIONS), size=size)
+    out = []
+    for i in range(size):
+        family = families[i]
+        out.append(
+            SystemAttributes(
+                os_family=family,
+                system=_SYSTEM_VERSIONS[family],
+                processor=_PROCESSORS[family],
+                daemon_version=_DAEMON_VERSIONS[int(daemon_ids[i])],
+                compile_year=years[i],
+                stratum=16 if unsync[i] else int(strata[i]),
+            )
+        )
+    return out

@@ -1,0 +1,84 @@
+"""Attacked-port model and labels (Table 4).
+
+The paper tallies, per (amplifier, victim) pair, the victim source port —
+i.e. the UDP port the attack traffic is aimed at.  Port 80 dominates
+(attackers hoping to slip through filters), the NTP port itself is second,
+and at least ten of the top twenty are game-related, supporting the
+"game wars" finding (§4.3.2).
+"""
+
+__all__ = [
+    "TABLE4_PORT_WEIGHTS",
+    "PORT_LABELS",
+    "GAME_PORTS",
+    "sample_attack_port",
+]
+
+#: Table 4's top-20 ports with their fractions of amplifier/victim pairs.
+TABLE4_PORT_WEIGHTS = {
+    80: 0.362,
+    123: 0.238,
+    3074: 0.079,
+    50557: 0.062,
+    53: 0.025,
+    25565: 0.021,
+    19: 0.012,
+    22: 0.011,
+    5223: 0.007,
+    27015: 0.006,
+    43594: 0.004,
+    9987: 0.004,
+    8080: 0.004,
+    6005: 0.003,
+    7777: 0.003,
+    2052: 0.003,
+    1025: 0.002,
+    1026: 0.002,
+    88: 0.002,
+    90: 0.002,
+}
+
+#: Human labels as printed in Table 4.
+PORT_LABELS = {
+    80: "None. via TCP:HTTP (g)",
+    123: "NTP server port",
+    3074: "XBox Live (g)",
+    50557: "Unknown",
+    53: "DNS; XBox Live (g)",
+    25565: "Minecraft (g)",
+    19: "chargen protocol",
+    22: "None. via TCP:SSH",
+    5223: "Playstation (g); other",
+    27015: "Steam/e.g. Half-Life (g)",
+    43594: "Runescape (g)",
+    9987: "TeamSpeak3 (g)",
+    8080: "None. via TCP:HTTP alt.",
+    6005: "Unknown",
+    7777: "Several games (g); other",
+    2052: "Star Wars (g)",
+    1025: "Win RPC; other",
+    1026: "Win RPC; other",
+    88: "XBox Live (g)",
+    90: "DNSIX (military)",
+}
+
+#: Ports the paper marks "(g)" — game-associated (excludes the ambiguous 80).
+GAME_PORTS = frozenset({3074, 53, 25565, 5223, 27015, 43594, 9987, 7777, 2052, 88})
+
+
+def sample_attack_port(rng, gamer=False):
+    """Draw a victim port.
+
+    ``gamer`` victims skew toward the game-labeled ports; others draw from
+    the full Table 4 mix.  ~15% of draws fall outside the top 20 onto random
+    ephemeral ports, matching the table's unaccounted remainder.
+    """
+    if rng.random() < 0.148:
+        return int(rng.integers(1024, 65536))
+    ports = list(TABLE4_PORT_WEIGHTS)
+    weights = [TABLE4_PORT_WEIGHTS[p] for p in ports]
+    if gamer:
+        weights = [w * (3.0 if p in GAME_PORTS else 1.0) for p, w in zip(ports, weights)]
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    return int(ports[int(rng.choice(len(ports), p=weights))])

@@ -1,0 +1,23 @@
+"""Text rendering of the paper's tables and figures."""
+
+from repro.reporting.tables import (
+    render_monlist_table,
+    render_series,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+
+__all__ = [
+    "render_monlist_table",
+    "render_series",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_table4",
+    "render_table5",
+    "render_table6",
+]

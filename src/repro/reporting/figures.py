@@ -1,0 +1,83 @@
+"""ASCII rendering of the paper's figures.
+
+Terminal-friendly chart primitives: a block-character sparkline, a log-axis
+line chart for the traffic/count series, and grouped bars for Figure 2.
+Everything returns plain strings; nothing touches a plotting library.
+"""
+
+import math
+
+__all__ = ["sparkline", "ascii_chart", "ascii_bars"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values, width=None):
+    """One-line density strip of a numeric series (linear scale)."""
+    values = list(values)
+    if not values:
+        return ""
+    if width is not None and len(values) > width:
+        # Downsample by taking the max of each chunk (peaks matter here).
+        chunk = len(values) / width
+        values = [
+            max(values[int(i * chunk) : max(int(i * chunk) + 1, int((i + 1) * chunk))])
+            for i in range(width)
+        ]
+    top = max(values)
+    if top <= 0:
+        return " " * len(values)
+    return "".join(_BLOCKS[min(9, int(v / top * 9.999))] if v > 0 else " " for v in values)
+
+
+def ascii_chart(series, height=12, width=64, log=False, title=None, value_fmt="{:.3g}"):
+    """A y-vs-x line chart of a [(x, y)] series as text.
+
+    ``log=True`` uses a log10 y-axis — how Figures 1, 3, and 4a read.
+    """
+    series = [(x, y) for x, y in series]
+    if not series:
+        return "(empty series)"
+    ys = [y for _, y in series]
+    if log:
+        floor = min(y for y in ys if y > 0) if any(y > 0 for y in ys) else 1e-12
+        transform = lambda y: math.log10(max(y, floor / 10))
+    else:
+        transform = lambda y: y
+    ty = [transform(y) for y in ys]
+    lo, hi = min(ty), max(ty)
+    span = (hi - lo) or 1.0
+
+    # Downsample x to the chart width.
+    n = len(series)
+    columns = min(width, n)
+    grid = [[" "] * columns for _ in range(height)]
+    for c in range(columns):
+        index = int(c * (n - 1) / max(1, columns - 1))
+        level = (ty[index] - lo) / span
+        row = height - 1 - int(level * (height - 1))
+        grid[row][c] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = value_fmt.format(max(ys))
+    bottom_label = value_fmt.format(min(ys))
+    for r, row in enumerate(grid):
+        prefix = top_label if r == 0 else (bottom_label if r == height - 1 else "")
+        lines.append(f"{prefix:>10} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * columns)
+    return "\n".join(lines)
+
+
+def ascii_bars(rows, width=40, title=None, value_fmt="{:.2f}"):
+    """Horizontal bars for (label, value) rows, scaled to the max value."""
+    rows = list(rows)
+    if not rows:
+        return "(no data)"
+    top = max(v for _, v in rows) or 1.0
+    label_width = max(len(str(label)) for label, _ in rows)
+    lines = [title] if title else []
+    for label, value in rows:
+        bar = "#" * int(value / top * width)
+        lines.append(f"{str(label):>{label_width}}  {bar} {value_fmt.format(value)}")
+    return "\n".join(lines)

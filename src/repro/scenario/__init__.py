@@ -1,0 +1,5 @@
+"""Scenario orchestration: the fully-assembled paper world."""
+
+from repro.scenario.world import PaperWorld, WorldParams
+
+__all__ = ["PaperWorld", "WorldParams"]

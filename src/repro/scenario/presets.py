@@ -1,0 +1,33 @@
+"""Named world presets.
+
+Scale is the fraction of the real Internet's populations the world carries;
+build time and memory grow roughly linearly with it.
+"""
+
+from dataclasses import dataclass
+
+__all__ = ["Preset", "PRESETS", "resolve_preset"]
+
+
+@dataclass(frozen=True)
+class Preset:
+    name: str
+    scale: float
+    description: str
+
+
+PRESETS = {
+    "tiny": Preset("tiny", 0.0005, "~700 amplifiers; seconds to build; CI-sized"),
+    "small": Preset("small", 0.001, "~1.4K amplifiers; the test-suite world"),
+    "default": Preset("default", 0.002, "~2.8K amplifiers; the benchmark world"),
+    "large": Preset("large", 0.005, "~7K amplifiers; smoother time series"),
+    "xl": Preset("xl", 0.01, "~14K amplifiers; minutes to build"),
+}
+
+
+def resolve_preset(name):
+    """Look up a preset by name; raises ``KeyError`` with choices listed."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown preset {name!r}; choose from {sorted(PRESETS)}") from None

@@ -1,0 +1,369 @@
+"""The end-to-end paper world.
+
+``PaperWorld.build(seed, scale)`` runs the entire study: it generates the
+synthetic Internet (AS plan, NTP host population, victim population),
+the attacker ecosystem (scanners, booters, the attack campaign including
+the February 10-12 OVH event and the scripted FRGP reflection spike), and
+then runs all five measurement apparatus against it, materializing the
+synthetic equivalents of the paper's five datasets:
+
+1. ``world.arbor``   — global traffic and labeled-attack statistics,
+2. ``world.onp``     — the ONP weekly monlist/version probe captures,
+3. ``world.darknet`` — the IPv4 ≈/9 telescope,
+4. ``world.darknet_v6`` — the IPv6 telescope (negative result),
+5. ``world.isp``     — Merit and FRGP/CSU flow vantage points.
+
+Every analysis in :mod:`repro.analysis` consumes these dataset objects
+only — never the ground truth — so the pipeline would run unchanged on
+real data with the same schemas.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.attack.campaign import AttackCampaign, AttackSpec, CampaignParams
+from repro.attack.scanner import RESEARCH_SCANNERS, ScannerEcosystem, windows_observed_ttl
+from repro.measurement.amplifier_state import AmplifierStateManager
+from repro.measurement.arbor import ArborCollector
+from repro.measurement.isp import IspMeasurement
+from repro.measurement.onp import OnpProber
+from repro.net.asn import ASRegistry
+from repro.net.geo import GeoView
+from repro.net.pbl import PolicyBlockList
+from repro.net.routing import RoutedBlockTable
+from repro.population.amplifiers import (
+    BackgroundClients,
+    NtpHost,
+    PoolParams,
+    build_host_pool,
+)
+from repro.population.dns_resolvers import DnsResolverPool
+from repro.population.osmodel import sample_system_attributes
+from repro.population.victims import VictimParams, build_victim_pool
+from repro.telescope.darknet import Ipv4Darknet, Ipv6Darknet
+from repro.util.rng import RngStream
+from repro.util.simtime import DAY, HOUR, date_to_sim
+
+__all__ = ["WorldParams", "PaperWorld"]
+
+
+@dataclass(frozen=True)
+class WorldParams:
+    """One knob to rule them all: the world's seed and scale."""
+
+    seed: int = 2014
+    #: Population scale relative to the real Internet (1.0 = 1.4M monlist
+    #: amplifiers; benchmarks default to small worlds).
+    scale: float = 0.003
+    #: ASes in the synthetic registry (defaults scale sub-linearly so small
+    #: worlds still have AS-level structure).
+    n_ases: int = None
+    observation_start: float = date_to_sim(2013, 9, 1)
+    observation_end: float = date_to_sim(2014, 5, 1)
+
+    def resolved_n_ases(self):
+        if self.n_ases is not None:
+            return self.n_ases
+        return max(400, int(3000 * math.sqrt(self.scale / 0.01)))
+
+
+#: Local amplifier deployments (§7.1): counts are absolute, like the paper's.
+_LOCAL_AMPLIFIER_PLAN = {
+    # site AS name: (count, n_elite_full_table, remediation description)
+    "REGIONAL-MI": (50, 5, "tickets"),  # Merit: tracked via trouble tickets
+    "FRGP-CO": (48, 4, "slow"),  # FRGP: ongoing through February
+    "CSU-EDU": (9, 3, "jan24"),  # CSU: all secured on January 24
+}
+
+
+@dataclass
+class PaperWorld:
+    """The fully-built world: ground truth plus the five datasets."""
+
+    params: WorldParams
+    registry: object
+    table: object
+    pbl: object
+    geo: object
+    hosts: object
+    victims: object
+    sweeps: list
+    attacks: list
+    state: object
+    onp: object
+    arbor: object
+    darknet: object
+    darknet_v6: object
+    isp: object
+    dns_pool: object
+    local_amplifiers: dict = field(default_factory=dict)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def summary(self):
+        """A text digest of the study's headline findings for this world."""
+        from repro.analysis import (
+            amplifier_counts,
+            analyze_dataset,
+            churn_report,
+            parse_sample,
+            peak_traffic_date,
+            sample_baf_boxplot,
+            version_sample_baf_boxplot,
+        )
+        from repro.attack import ONP_PROBER_IP
+        from repro.util.simtime import format_sim
+
+        lines = []
+        lines.append(
+            f"PaperWorld(seed={self.params.seed}, scale={self.params.scale}): "
+            f"{len(self.hosts)} host records, {len(self.victims)} victims, "
+            f"{len(self.attacks)} attacks, {len(self.sweeps)} scan sweeps"
+        )
+        daily = self.arbor.daily
+        nov = max(d.ntp_fraction for d in daily[:20])
+        peak = max(d.ntp_fraction for d in daily)
+        lines.append(
+            f"NTP traffic fraction: {nov:.2e} (Nov) -> {peak:.2e} "
+            f"(peak {peak_traffic_date(self.arbor)}; paper: 1e-5 -> 1e-2 on 2014-02-11)"
+        )
+        parsed = [parse_sample(s) for s in self.onp.monlist_samples]
+        rows = amplifier_counts(parsed, self.table, self.pbl)
+        lines.append(
+            f"Amplifier pool: {rows[0].ips} -> {rows[-1].ips} "
+            f"({100 * (1 - rows[-1].ips / rows[0].ips):.0f}% remediated; paper: 92%)"
+        )
+        churn = churn_report(parsed)
+        lines.append(
+            f"Unique amplifier IPs: {churn.total_unique} "
+            f"(first sample {100 * churn.first_sample_share:.0f}%; paper: ~60%)"
+        )
+        box = sample_baf_boxplot(parsed[0])
+        vbox = version_sample_baf_boxplot(self.onp.version_samples[0])
+        lines.append(
+            f"BAF: monlist median {box.median:.1f}x / Q3 {box.q3:.1f}x / max {box.maximum:.1e}x; "
+            f"version {vbox.q1:.1f}/{vbox.median:.1f}/{vbox.q3:.1f} (paper: 4.3/15/1e9; 3.5/4.6/6.9)"
+        )
+        report = analyze_dataset(parsed, onp_ip=ONP_PROBER_IP)
+        victims = report.all_victim_ips()
+        lines.append(
+            f"Victims observed: {len(victims)} "
+            f"(~{int(len(victims) / self.params.scale):,} full-scale-equivalent; paper: 437K), "
+            f"{report.total_attack_packets():.2e} packets, "
+            f"undersampling {report.undersampling_factor():.1f}x (paper: 3.8x)"
+        )
+        last = format_sim(self.onp.monlist_samples[-1].t)
+        lines.append(f"Window: {format_sim(self.onp.monlist_samples[0].t)} .. {last} (15 weekly samples)")
+        return "\n".join(lines)
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def build(cls, seed=2014, scale=0.003, params=None, quiet=True):
+        """Run the whole study.  Deterministic in (seed, params)."""
+        params = params or WorldParams(seed=seed, scale=scale)
+        rng = RngStream(params.seed, "paper-world")
+
+        def say(message):
+            if not quiet:
+                print(f"[paper-world] {message}")
+
+        say(f"building registry ({params.resolved_n_ases()} ASes)")
+        registry = ASRegistry(rng.child("asn"), n_ases=params.resolved_n_ases())
+        table = RoutedBlockTable(registry)
+        pbl = PolicyBlockList(registry)
+        geo = GeoView(table)
+
+        say("building host population")
+        hosts = build_host_pool(rng.child("hosts"), registry, pbl, PoolParams(scale=params.scale))
+        local = _plant_local_amplifiers(rng.child("local-amps"), registry, hosts)
+
+        say("building victim population")
+        victims = build_victim_pool(
+            rng.child("victims"), registry, pbl, VictimParams(scale=params.scale)
+        )
+
+        say("generating scanner ecosystem")
+        ecosystem = ScannerEcosystem(
+            rng.child("scanners"),
+            scale=params.scale,
+            start=params.observation_start,
+            end=params.observation_end,
+        )
+        sweeps = ecosystem.all_sweeps()
+
+        say("generating attack campaign")
+        campaign = AttackCampaign(
+            rng.child("campaign"), hosts, victims, CampaignParams(scale=params.scale)
+        )
+        attacks = campaign.generate()
+        attacks.extend(_scripted_frgp_event(rng.child("frgp-event"), registry, hosts, victims))
+        attacks.sort(key=lambda a: a.start)
+
+        say("observing darknets")
+        darknet = Ipv4Darknet(rng.child("telescope"))
+        darknet.observe_all(sweeps)
+        darknet_v6 = Ipv6Darknet(rng.child("telescope-v6"))
+        darknet_v6.simulate_window(params.observation_start, params.observation_end)
+
+        say("running ONP probe campaign")
+        state = AmplifierStateManager(rng.child("state"), RESEARCH_SCANNERS)
+        state.register_malicious_activity(sweeps)
+        for attack in attacks:
+            state.register_pulses(attack.pulses())
+        prober = OnpProber(state)
+        onp = prober.run_all(hosts, rng.child("onp"))
+
+        say("collecting global traffic statistics")
+        arbor = ArborCollector(rng.child("arbor"), scale=params.scale).collect(
+            attacks, date_to_sim(2013, 11, 1), params.observation_end
+        )
+
+        say("measuring at regional ISPs")
+        isp = IspMeasurement(registry)
+        isp.observe_attacks(attacks)
+        isp.observe_sweeps(sweeps, scanner_scale=ecosystem.scanner_scale)
+
+        dns_pool = DnsResolverPool(rng.child("dns"), scale=params.scale)
+
+        say("done")
+        return cls(
+            params=params,
+            registry=registry,
+            table=table,
+            pbl=pbl,
+            geo=geo,
+            hosts=hosts,
+            victims=victims,
+            sweeps=sweeps,
+            attacks=attacks,
+            state=state,
+            onp=onp,
+            arbor=arbor,
+            darknet=darknet,
+            darknet_v6=darknet_v6,
+            isp=isp,
+            dns_pool=dns_pool,
+            local_amplifiers=local,
+        )
+
+
+def _plant_local_amplifiers(rng, registry, hosts):
+    """Install the §7 local amplifier deployments (absolute counts).
+
+    Returns {site AS name: [NtpHost]}.  The hosts join the global pool, so
+    booters pick them up like any other amplifier; the elite (primed,
+    full-table) ones float to the top of reply-size-sorted attack lists,
+    which is how a handful of local boxes end up serving thousands of
+    victims (Table 5).
+    """
+    from repro.ntp.constants import IMPL_XNTPD
+
+    planted = {}
+    for as_name, (count, n_elite, style) in _LOCAL_AMPLIFIER_PLAN.items():
+        system = registry.special[as_name]
+        site_hosts = []
+        attrs = sample_system_attributes(rng.child(f"attrs-{as_name}"), count, "amplifier")
+        for i in range(count):
+            ip = system.random_ip(rng)
+            if style == "jan24":
+                remediation = date_to_sim(2014, 1, 24)
+            elif style == "tickets":
+                remediation = date_to_sim(2014, 1, 20) + float(rng.uniform(0, 50 * DAY))
+            else:  # slow: through February and beyond; some never
+                remediation = (
+                    None
+                    if rng.random() < 0.15
+                    else date_to_sim(2014, 2, 1) + float(rng.uniform(0, 70 * DAY))
+                )
+            elite = i < n_elite
+            base_clients = 600 if elite else int(rng.bounded_pareto(0.42, 20.0, 600.0))
+            restart = float(rng.lognormal_for_median(5 * DAY, 0.6))
+            host = NtpHost(
+                ip=ip,
+                asn=system.asn,
+                continent=system.continent,
+                country=system.country,
+                is_end_host=False,
+                attrs=attrs[i],
+                responds_version=True,
+                monlist_amplifier=True,
+                implementations=frozenset({IMPL_XNTPD}),
+                base_clients=base_clients,
+                primed_full=elite,
+                restart_interval=restart,
+                birth=0.0,
+                remediation_time=remediation,
+                cluster_id=-2,
+            )
+            host.clients = _local_clients(rng.child(f"clients-{as_name}-{i}"), base_clients)
+            site_hosts.append(host)
+            hosts.hosts.append(host)
+            hosts.monlist_hosts.append(host)
+            hosts.version_hosts.append(host)
+        planted[as_name] = site_hosts
+    return planted
+
+
+def _local_clients(rng, n):
+    """Background clients for a planted local amplifier."""
+    import numpy as np
+
+    if n <= 0:
+        return BackgroundClients(
+            ips=np.empty(0, dtype=np.int64),
+            ports=np.empty(0, dtype=np.int64),
+            intervals=np.empty(0, dtype=np.float64),
+            first_polls=np.empty(0, dtype=np.float64),
+            one_shot=np.empty(0, dtype=bool),
+        )
+    return BackgroundClients(
+        ips=rng.integers(0x0B000000, 0xDF000000, size=n).astype(np.int64),
+        ports=rng.integers(1024, 65535, size=n).astype(np.int64),
+        intervals=np.clip(rng.lognormal_for_median(2048.0, 1.6, size=n), 64.0, 14 * DAY),
+        first_polls=rng.uniform(0.0, 30 * DAY, size=n),
+        one_shot=rng.bernoulli(0.3, size=n),
+    )
+
+
+def _scripted_frgp_event(rng, registry, hosts, victims):
+    """§7.1's distinctive FRGP ingress spike: a reflection attack on a host
+    inside FRGP on February 10th — just under 23 minutes at ~3 GB/s,
+    totaling ~514 GB."""
+    frgp = registry.special["FRGP-CO"]
+    targets = [v for v in victims.victims if v.asn == frgp.asn]
+    if not targets:
+        return []
+    victim = targets[0]
+    start = date_to_sim(2014, 2, 10, 14, 37)
+    duration = 22.8 * 60.0
+    # ~3 gigaBYTES per second at full scale; scaled down so the event stays
+    # proportionate to the world's traffic denominator (it remains the
+    # dominant spike against FRGP's own series at any scale).
+    scale_rel = min(1.0, len(hosts.monlist_hosts) / 1_405_000 * 6)
+    target_bps = max(1.5e9, 3.0e9 * 8 * scale_rel)
+    alive = [h for h in hosts.monlist_alive(start) if not h.is_mega]
+    if not alive:
+        return []
+    n_amps = min(len(alive), 45)
+    picks = rng.choice(len(alive), size=n_amps, replace=False)
+    amps = [alive[int(k)] for k in picks]
+    from repro.population.amplifiers import estimate_monlist_reply_bytes
+
+    reply = sum(estimate_monlist_reply_bytes(h) for h in amps) / len(amps)
+    rate = target_bps / 8.0 / n_amps / max(300.0, reply)
+    return [
+        AttackSpec(
+            attack_id=10_000_000,
+            victim=victim,
+            port=123,
+            start=start,
+            duration=duration,
+            mode=7,
+            target_bps=target_bps,
+            amplifiers=amps,
+            query_rate_per_amp=min(20000.0, rate),
+            spoofer_ttl=windows_observed_ttl(rng),
+            booter_id=-1,
+        )
+    ]

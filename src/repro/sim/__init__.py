@@ -1,0 +1,18 @@
+"""Discrete-event simulation engine."""
+
+from repro.sim.engine import Event, EventEngine
+from repro.sim.events import (
+    AttackPulse,
+    ClientPoll,
+    ProbeSent,
+    ScanSweep,
+)
+
+__all__ = [
+    "Event",
+    "EventEngine",
+    "AttackPulse",
+    "ClientPoll",
+    "ProbeSent",
+    "ScanSweep",
+]

@@ -1,0 +1,87 @@
+"""A minimal, deterministic discrete-event engine.
+
+The scenario layer schedules work (scan sweeps, attack pulses, weekly ONP
+probes, flow-export ticks) as callbacks at simulation times.  Events at equal
+times fire in insertion order, which — together with the seeded RNG streams —
+makes whole-world runs bit-reproducible.
+"""
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.util.simtime import SimClock
+
+__all__ = ["Event", "EventEngine"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.  Ordering is (time, sequence number)."""
+
+    time: float
+    seq: int
+    action: object = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class EventEngine:
+    """Heap-based scheduler driving a :class:`SimClock`."""
+
+    def __init__(self, start=0.0):
+        self.clock = SimClock(start)
+        self._heap = []
+        self._seq = 0
+        self._n_fired = 0
+
+    @property
+    def now(self):
+        return self.clock.now
+
+    @property
+    def n_pending(self):
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def n_fired(self):
+        return self._n_fired
+
+    def schedule(self, time, action, label=""):
+        """Schedule ``action(engine)`` at simulation time ``time``."""
+        if time < self.clock.now:
+            raise ValueError(f"cannot schedule into the past: {time} < {self.clock.now}")
+        if not callable(action):
+            raise TypeError("action must be callable")
+        event = Event(time=float(time), seq=self._seq, action=action, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay, action, label=""):
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self.clock.now + delay, action, label=label)
+
+    def run_until(self, end_time):
+        """Fire all events with ``time <= end_time``; advance clock to it."""
+        while self._heap and self._heap[0].time <= end_time:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.action(self)
+            self._n_fired += 1
+        self.clock.advance_to(max(self.clock.now, end_time))
+
+    def run_all(self):
+        """Fire every pending event (new events may be scheduled en route)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.action(self)
+            self._n_fired += 1

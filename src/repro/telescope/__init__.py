@@ -1,0 +1,5 @@
+"""Darknet telescopes (IPv4 ≈/9 and IPv6)."""
+
+from repro.telescope.darknet import Ipv4Darknet, Ipv6Darknet
+
+__all__ = ["Ipv4Darknet", "Ipv6Darknet"]

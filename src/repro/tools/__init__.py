@@ -1,0 +1,5 @@
+"""User-facing protocol tools built on the substrate."""
+
+from repro.tools.ntpdc import NtpdcResult, ntpdc_monlist, ntpdc_sysinfo
+
+__all__ = ["NtpdcResult", "ntpdc_monlist", "ntpdc_sysinfo"]

@@ -1,0 +1,97 @@
+"""An ntpdc-style diagnostic client.
+
+The paper's measurements were made with (the logic of) the Linux ``ntpdc``
+tool: "The Linux ntpdc tool ... when used to query a server with the
+monlist command, tries each of two implementation types, one at a time,
+before failing" (§3.1).  This module reproduces that client behavior
+against simulated servers, raw packets end to end:
+
+* :func:`ntpdc_monlist` — sends mode-7 requests, trying the modern
+  implementation code first and falling back to the legacy one, reassembles
+  the multi-packet reply in sequence order, and returns decoded entries;
+* :func:`ntpdc_sysinfo` — sends a mode-6 READVAR and parses the system
+  variables.
+
+The ONP scans differed from ntpdc in exactly one way the paper flags as a
+limitation: they sent only *one* implementation's packet.  ``fallback=False``
+reproduces the ONP behavior; the default reproduces ntpdc's.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.ntp.constants import (
+    CTL_OP_READVAR,
+    IMPL_XNTPD,
+    IMPL_XNTPD_OLD,
+    REQ_MON_GETLIST,
+    REQ_MON_GETLIST_1,
+)
+from repro.ntp.variables import parse_system_variables
+from repro.ntp.wire import decode_mode6, decode_mode7, encode_mode6_request, encode_mode7_request
+
+__all__ = ["NtpdcResult", "ntpdc_monlist", "ntpdc_sysinfo"]
+
+#: (implementation, request code) pairs in ntpdc's try order.
+_IMPL_ATTEMPTS = (
+    (IMPL_XNTPD, REQ_MON_GETLIST_1),
+    (IMPL_XNTPD_OLD, REQ_MON_GETLIST),
+)
+
+
+@dataclass
+class NtpdcResult:
+    """Outcome of one ntpdc exchange."""
+
+    responded: bool
+    implementation: int = None
+    entries: tuple = field(default_factory=tuple)
+    n_packets: int = 0
+    payload_bytes: int = 0
+    attempts: int = 0
+
+    def __bool__(self):
+        return self.responded
+
+
+def ntpdc_monlist(server, client_ip, now, client_port=50123, fallback=True, max_packets=10_000):
+    """Run ``ntpdc -c monlist`` against a simulated server.
+
+    Tries the modern implementation code first; with ``fallback=True``
+    (real ntpdc) retries with the legacy code when the first attempt gets
+    no answer.  Returns an :class:`NtpdcResult` whose ``entries`` are in
+    MRU order.
+    """
+    attempts = 0
+    for implementation, request_code in _IMPL_ATTEMPTS:
+        attempts += 1
+        request = encode_mode7_request(implementation, request_code)
+        reply = server.handle_datagram(request, client_ip, client_port, now)
+        if reply is not None:
+            packets = reply.materialize(max_packets=max_packets)
+            decoded = sorted((decode_mode7(p) for p in packets), key=lambda p: p.sequence)
+            entries = []
+            for packet in decoded:
+                entries.extend(packet.items)
+            return NtpdcResult(
+                responded=True,
+                implementation=implementation,
+                entries=tuple(entries),
+                n_packets=len(packets),
+                payload_bytes=sum(len(p) for p in packets),
+                attempts=attempts,
+            )
+        if not fallback:
+            break
+    return NtpdcResult(responded=False, attempts=attempts)
+
+
+def ntpdc_sysinfo(server, client_ip, now, client_port=50123):
+    """Run a READVAR ("sysinfo"/version) query; returns a variables dict or
+    ``None`` when the server does not answer mode 6."""
+    request = encode_mode6_request(CTL_OP_READVAR)
+    reply = server.handle_datagram(request, client_ip, client_port, now)
+    if reply is None:
+        return None
+    fragments = sorted((decode_mode6(p) for p in reply.packets), key=lambda p: p.offset)
+    payload = b"".join(f.data for f in fragments)
+    return parse_system_variables(payload)

@@ -1,0 +1,56 @@
+"""Shared utilities: deterministic RNG streams, simulation time, statistics.
+
+These are the foundation layer; nothing in :mod:`repro.util` imports from any
+other ``repro`` subpackage.
+"""
+
+from repro.util.rng import RngStream, derive_seed
+from repro.util.simtime import (
+    SimClock,
+    Timeline,
+    date_to_sim,
+    day_index,
+    format_sim,
+    hour_index,
+    month_key,
+    sim_to_date,
+    week_samples,
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    SIM_EPOCH,
+)
+from repro.util.stats import (
+    BoxplotSummary,
+    Ecdf,
+    boxplot_summary,
+    percentile,
+    rank_series,
+    safe_ratio,
+)
+
+__all__ = [
+    "RngStream",
+    "derive_seed",
+    "SimClock",
+    "Timeline",
+    "date_to_sim",
+    "day_index",
+    "format_sim",
+    "hour_index",
+    "month_key",
+    "sim_to_date",
+    "week_samples",
+    "DAY",
+    "HOUR",
+    "MINUTE",
+    "WEEK",
+    "SIM_EPOCH",
+    "BoxplotSummary",
+    "Ecdf",
+    "boxplot_summary",
+    "percentile",
+    "rank_series",
+    "safe_ratio",
+]

@@ -1,0 +1,117 @@
+"""Statistics helpers used across the analysis modules.
+
+The paper reports boxplot five-number summaries (Fig. 4b/4c), percentiles
+(Fig. 6), empirical CDFs over ranked aggregates (Fig. 5), and simple ratio
+series.  These helpers centralize that arithmetic.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "percentile",
+    "BoxplotSummary",
+    "boxplot_summary",
+    "Ecdf",
+    "rank_series",
+    "safe_ratio",
+    "log_center_bins",
+]
+
+
+def percentile(values, q):
+    """The ``q``-th percentile (0..100) of ``values``; NaN when empty."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """Five-number summary as drawn in the paper's BAF boxplots."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    count: int
+
+    def as_tuple(self):
+        return (self.minimum, self.q1, self.median, self.q3, self.maximum)
+
+
+def boxplot_summary(values):
+    """Compute a :class:`BoxplotSummary`; raises on empty input."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return BoxplotSummary(
+        minimum=float(arr.min()),
+        q1=float(np.percentile(arr, 25)),
+        median=float(np.percentile(arr, 50)),
+        q3=float(np.percentile(arr, 75)),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+    )
+
+
+class Ecdf:
+    """Empirical CDF over per-item weights sorted descending by weight.
+
+    This matches Figure 5's construction: sort ASes by packets contributed
+    (descending), then plot cumulative fraction of packets against rank.
+    """
+
+    def __init__(self, weights):
+        arr = np.asarray(sorted(weights, reverse=True), dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot build an ECDF over no items")
+        if (arr < 0).any():
+            raise ValueError("weights must be non-negative")
+        total = arr.sum()
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        self._weights = arr
+        self._cum_frac = np.cumsum(arr) / total
+
+    @property
+    def n_items(self):
+        return int(self._weights.size)
+
+    def fraction_within_top(self, k):
+        """Fraction of total weight held by the ``k`` heaviest items."""
+        if k <= 0:
+            return 0.0
+        k = min(int(k), self._weights.size)
+        return float(self._cum_frac[k - 1])
+
+    def series(self):
+        """(rank, cumulative fraction) pairs, rank starting at 1."""
+        return [(i + 1, float(f)) for i, f in enumerate(self._cum_frac)]
+
+
+def rank_series(values):
+    """(rank, value) pairs sorted descending by value, rank starting at 1.
+
+    Used for Figure 4a's "amplifier rank vs bytes returned" plot.
+    """
+    ordered = sorted((float(v) for v in values), reverse=True)
+    return [(i + 1, v) for i, v in enumerate(ordered)]
+
+
+def safe_ratio(numerator, denominator):
+    """``numerator / denominator`` with 0 for a zero denominator."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def log_center_bins(low, high, per_decade=10):
+    """Geometrically spaced bin centers between ``low`` and ``high``."""
+    if low <= 0 or high <= low:
+        raise ValueError("need 0 < low < high")
+    n = max(2, int(np.ceil(np.log10(high / low) * per_decade)) + 1)
+    return list(np.geomspace(low, high, n))

@@ -1,0 +1,29 @@
+"""Shared fixtures: one small end-to-end world reused across test modules."""
+
+import pytest
+
+from repro.scenario import PaperWorld
+
+#: Small but structurally complete: ~1.4K initial amplifiers, ~1K victims.
+WORLD_SEED = 42
+WORLD_SCALE = 0.001
+
+
+@pytest.fixture(scope="session")
+def world():
+    return PaperWorld.build(seed=WORLD_SEED, scale=WORLD_SCALE)
+
+
+@pytest.fixture(scope="session")
+def parsed_monlist(world):
+    from repro.analysis import parse_sample
+
+    return [parse_sample(s) for s in world.onp.monlist_samples]
+
+
+@pytest.fixture(scope="session")
+def victim_report(world, parsed_monlist):
+    from repro.analysis import analyze_dataset
+    from repro.attack import ONP_PROBER_IP
+
+    return analyze_dataset(parsed_monlist, onp_ip=ONP_PROBER_IP)

@@ -1,0 +1,90 @@
+"""Tests for BAF accounting and the mega-amplifier census."""
+
+import pytest
+
+from repro.analysis import (
+    aggregate_bytes_per_amplifier,
+    mega_amplifier_census,
+    on_wire_baf,
+    payload_baf,
+    sample_baf_boxplot,
+    version_sample_baf_boxplot,
+)
+from repro.measurement.onp import ProbeCapture
+from repro.ntp import MonlistTable
+from repro.ntp.constants import IMPL_XNTPD
+
+
+def capture_with(n_clients, n_repeats=1):
+    table = MonlistTable()
+    for i in range(n_clients):
+        table.record(100 + i, 123, 3, 4, now=float(i))
+    packets = table.render_response_packets(1000.0, 2, IMPL_XNTPD)
+    return ProbeCapture(target_ip=7, t=1000.0, packets=tuple(packets), n_repeats=n_repeats)
+
+
+def test_known_baf_for_four_entries():
+    # 4 v2 entries: 296-byte payload -> 362 on-wire -> BAF 4.31.
+    assert on_wire_baf(capture_with(4)) == pytest.approx(362 / 84, rel=1e-6)
+
+
+def test_payload_baf_exceeds_on_wire_baf():
+    capture = capture_with(4)
+    # Rossow-style payload ratio (296/8) is far larger than on-wire (4.31).
+    assert payload_baf(capture) == pytest.approx(37.0)
+    assert payload_baf(capture) > on_wire_baf(capture)
+
+
+def test_full_table_baf():
+    baf = on_wire_baf(capture_with(600))
+    assert 500 < baf < 700  # ~50 KB reply over an 84-byte query
+
+
+def test_mega_baf_scales_with_repeats():
+    once = on_wire_baf(capture_with(600))
+    mega = on_wire_baf(capture_with(600, n_repeats=1000))
+    assert mega == pytest.approx(once * 1000)
+
+
+def test_monlist_boxplots_match_paper_shape(parsed_monlist):
+    bp = sample_baf_boxplot(parsed_monlist[0])
+    assert 3.0 <= bp.median <= 12.0  # paper: ~4.3 (typical server ~4x)
+    assert bp.q3 <= 60.0  # paper: ~15 typically
+    assert bp.maximum > 1e5  # mega outliers (paper: ~1e6..1e9)
+
+
+def test_version_boxplots_match_paper_shape(world):
+    bp = version_sample_baf_boxplot(world.onp.version_samples[0])
+    assert 3.0 <= bp.q1 <= 5.5
+    assert 3.5 <= bp.median <= 6.0  # paper: ~4.6
+    assert 4.5 <= bp.q3 <= 9.0  # paper: ~6.9
+    assert bp.maximum > 1e4  # loop outliers (paper: up to 2.6e8)
+
+
+def test_version_quartiles_stable_across_samples(world):
+    medians = [
+        version_sample_baf_boxplot(s).median for s in world.onp.version_samples
+    ]
+    assert max(medians) - min(medians) < 1.0  # §3.3: "almost exactly the same"
+
+
+def test_aggregate_rank_curve(parsed_monlist):
+    totals, ranks = aggregate_bytes_per_amplifier(parsed_monlist)
+    assert len(totals) == len(ranks)
+    values = [v for _, v in ranks]
+    assert values == sorted(values, reverse=True)
+    # Three-plus orders of magnitude between the top and the median.
+    assert values[0] > 1000 * values[len(values) // 2]
+
+
+def test_mega_census(parsed_monlist):
+    census = mega_amplifier_census(parsed_monlist)
+    assert census.n_over_100kb >= census.n_over_1gb >= 1
+    assert census.largest_bytes > 1e10  # the 136 GB-class amplifier
+    assert census.fraction_under_50kb > 0.85  # paper: ~99% under a full table
+
+
+def test_census_empty():
+    census = mega_amplifier_census([])
+    assert census.n_over_100kb == 0
+    assert census.fraction_under_50kb == 0.0

@@ -1,0 +1,83 @@
+"""Tests for the scanner ecosystem."""
+
+import pytest
+
+from repro.attack import RESEARCH_SCANNERS, ScannerEcosystem, linux_observed_ttl, windows_observed_ttl
+from repro.attack.scanner import MALICIOUS_DAILY_COVERAGE_TOTAL, ONP_PROBER_IP
+from repro.util import RngStream, date_to_sim
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    eco = ScannerEcosystem(RngStream(1, "scan-test"), scale=0.001)
+    return eco.all_sweeps()
+
+
+def test_sweeps_sorted(sweeps):
+    times = [s.t for s in sweeps]
+    assert times == sorted(times)
+
+
+def test_research_scanners_present(sweeps):
+    research = [s for s in sweeps if s.kind == "research"]
+    assert research
+    ips = {s.scanner_ip for s in research}
+    assert ONP_PROBER_IP in ips
+    assert all(s.coverage == 1.0 for s in research)
+
+
+def test_onp_monlist_weekly_cadence():
+    onp = next(s for s in RESEARCH_SCANNERS if s.name == "onp-monlist")
+    times = onp.sweep_times()
+    assert len(times) == 15
+    assert times[0] == date_to_sim(2014, 1, 10)
+    assert times[1] - times[0] == pytest.approx(7 * 86400)
+
+
+def test_malicious_ramp_in_december(sweeps):
+    from repro.util.simtime import DAY
+
+    def daily(day):
+        t = date_to_sim(*day)
+        return sum(1 for s in sweeps if s.kind == "malicious" and t <= s.t < t + DAY)
+
+    before = sum(daily((2013, 12, d)) for d in range(1, 8))
+    after = sum(daily((2014, 1, d)) for d in range(1, 8))
+    assert after > 3 * max(1, before)
+
+
+def test_malicious_coverage_follows_timeline():
+    assert MALICIOUS_DAILY_COVERAGE_TOTAL(date_to_sim(2013, 10, 1)) < 0.1
+    assert MALICIOUS_DAILY_COVERAGE_TOTAL(date_to_sim(2014, 2, 15)) > 0.5
+
+
+def test_scanner_scale_floor():
+    eco = ScannerEcosystem(RngStream(1, "x"), scale=1e-6)
+    assert eco.scanner_scale == 0.02
+
+
+def test_scanner_ttls_look_linux(sweeps):
+    ttls = [s.ttl for s in sweeps[:500]]
+    assert all(34 <= t <= 64 for t in ttls)
+
+
+def test_ttl_helpers_distinct():
+    rng = RngStream(3, "ttl")
+    linux = [linux_observed_ttl(rng) for _ in range(200)]
+    windows = [windows_observed_ttl(rng) for _ in range(200)]
+    assert max(linux) <= 64
+    assert min(windows) > 64
+
+
+def test_version_interest_grows(sweeps):
+    cutoff = date_to_sim(2014, 2, 15)
+    early = [s for s in sweeps if s.kind == "malicious" and s.t < cutoff]
+    late = [s for s in sweeps if s.kind == "malicious" and s.t >= cutoff]
+    early_v = sum(1 for s in early if s.mode == 6) / max(1, len(early))
+    late_v = sum(1 for s in late if s.mode == 6) / max(1, len(late))
+    assert late_v > early_v
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        ScannerEcosystem(RngStream(1, "x"), start=10.0, end=5.0)

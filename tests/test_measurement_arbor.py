@@ -1,0 +1,95 @@
+"""Tests for the Arbor-style global collector (using the shared world)."""
+
+import pytest
+
+from repro.measurement import SIZE_LARGE, SIZE_MEDIUM, SIZE_SMALL, size_bin
+from repro.measurement.arbor import ArborCollector
+from repro.util import RngStream, date_to_sim
+
+
+def test_size_bins():
+    assert size_bin(1e9) == SIZE_SMALL
+    assert size_bin(2e9) == SIZE_MEDIUM
+    assert size_bin(20e9) == SIZE_MEDIUM
+    assert size_bin(21e9) == SIZE_LARGE
+
+
+def test_daily_series_covers_window(world):
+    days = [d.day for d in world.arbor.daily]
+    assert days == list(range(days[0], days[-1] + 1))
+    first = days[0] * 86400
+    assert date_to_sim(2013, 10, 31) <= first <= date_to_sim(2013, 11, 2)
+
+
+def test_ntp_fraction_rises_three_orders(world):
+    daily = world.arbor.daily
+    november = [d.ntp_fraction for d in daily[:20]]
+    peak = max(d.ntp_fraction for d in daily)
+    assert max(november) < 5e-5
+    assert peak > 100 * max(november)
+
+
+def test_peak_in_mid_february(world):
+    from repro.util import format_sim
+
+    peak = world.arbor.peak_ntp_day()
+    date = format_sim(peak.day * 86400)
+    assert "2014-02-0" in date or "2014-02-1" in date
+
+
+def test_ntp_surpasses_dns_at_peak_only(world):
+    daily = world.arbor.daily
+    peak = world.arbor.peak_ntp_day()
+    assert peak.ntp_fraction > peak.dns_fraction
+    assert daily[0].ntp_fraction < daily[0].dns_fraction
+
+
+def test_dns_fraction_steady(world):
+    fracs = [d.dns_fraction for d in world.arbor.daily]
+    assert all(0.0008 < f < 0.0025 for f in fracs)
+
+
+def test_decline_after_peak(world):
+    daily = world.arbor.daily
+    peak = world.arbor.peak_ntp_day()
+    late_april = [d for d in daily if d.day * 86400 > date_to_sim(2014, 4, 20)]
+    assert late_april
+    late_mean = sum(d.ntp_fraction for d in late_april) / len(late_april)
+    assert late_mean < peak.ntp_fraction / 3
+    # ...but still above the November baseline (lumpy at small scale —
+    # see EXPERIMENTS.md residual 1).
+    assert late_mean > 1.2 * world.arbor.daily[0].ntp_fraction
+
+
+def test_monthly_attack_stats_shape(world):
+    months = world.arbor.monthly_attacks
+    assert "2013-11" in months and "2014-04" in months
+    nov = months["2013-11"]
+    feb = months["2014-02"]
+    assert nov.ntp_fraction() < 0.01
+    assert feb.ntp_fraction(SIZE_MEDIUM) > 0.4
+    assert feb.ntp_fraction() > nov.ntp_fraction()
+    apr = months["2014-04"]
+    assert apr.ntp_fraction() < feb.ntp_fraction()
+
+
+def test_total_attacks_scale(world):
+    feb = world.arbor.monthly_attacks["2014-02"]
+    expected = 300_000 * world.params.scale
+    assert feb.total_attacks == pytest.approx(expected, rel=0.5)
+
+
+def test_collector_validation():
+    collector = ArborCollector(RngStream(1, "arb"), scale=0.001)
+    with pytest.raises(ValueError):
+        collector.collect([], 10.0, 5.0)
+
+
+def test_empty_attack_list_gives_baseline_only():
+    collector = ArborCollector(RngStream(2, "arb"), scale=0.001)
+    dataset = collector.collect([], date_to_sim(2014, 1, 1), date_to_sim(2014, 2, 1))
+    assert len(dataset.daily) == 31
+    assert all(d.ntp_fraction < 5e-5 for d in dataset.daily)
+    stats = dataset.monthly_attacks["2014-01"]
+    assert sum(stats.ntp.values()) == 0
+    assert sum(stats.other.values()) > 0

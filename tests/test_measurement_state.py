@@ -1,0 +1,198 @@
+"""Tests for the lazy amplifier-state manager."""
+
+import pytest
+
+from repro.attack.scanner import RESEARCH_SCANNERS
+from repro.measurement import AmplifierStateManager
+from repro.ntp.constants import IMPL_XNTPD
+from repro.population import PoolParams, build_host_pool
+from repro.net import ASRegistry, PolicyBlockList
+from repro.sim.events import AttackPulse
+from repro.util import RngStream, date_to_sim
+
+
+@pytest.fixture(scope="module")
+def host():
+    rng = RngStream(11, "state-test")
+    registry = ASRegistry(rng.child("asn"), n_ases=300)
+    pbl = PolicyBlockList(registry)
+    pool = build_host_pool(rng.child("hosts"), registry, pbl, PoolParams(scale=0.0002))
+    # Pick a host guaranteed to answer the probed implementation and that
+    # never restarts (so retention assertions are deterministic).
+    for candidate in pool.monlist_hosts:
+        if (
+            candidate.answers_implementation(IMPL_XNTPD)
+            and candidate.restart_interval is None
+            and candidate.birth == 0.0
+            and not candidate.is_mega
+        ):
+            return candidate
+    raise AssertionError("no suitable host in pool")
+
+
+def make_manager():
+    return AmplifierStateManager(RngStream(12, "mgr"), RESEARCH_SCANNERS)
+
+
+def test_server_materialized_once(host):
+    manager = make_manager()
+    a = manager.server_for(host)
+    b = manager.server_for(host)
+    assert a is b
+    assert manager.n_materialized == 1
+    assert manager.is_materialized(host.ip)
+
+
+def test_sync_is_monotonic(host):
+    manager = make_manager()
+    manager.sync(host, date_to_sim(2014, 1, 10))
+    with pytest.raises(ValueError):
+        manager.sync(host, date_to_sim(2014, 1, 1))
+
+
+def test_background_clients_appear(host):
+    manager = make_manager()
+    server = manager.sync(host, date_to_sim(2014, 1, 10))
+    # Every background client that has started polling appears.
+    expected = host.clients.state_at(date_to_sim(2014, 1, 10))
+    for ip, port, count, first, last in expected:
+        record = server.table.get(ip)
+        assert record is not None
+        assert record.count == count
+
+
+def test_sync_idempotent_for_background(host):
+    manager = make_manager()
+    t = date_to_sim(2014, 1, 10)
+    a = manager.sync(host, t).table.entries_mru(t)
+    b = manager.sync(host, t).table.entries_mru(t)
+    assert a == b
+
+
+def test_research_scanners_recorded(host):
+    manager = make_manager()
+    t = date_to_sim(2014, 2, 1)
+    server = manager.sync(host, t)
+    onp = next(s for s in RESEARCH_SCANNERS if s.name == "onp-monlist")
+    record = server.table.get(onp.ip)
+    assert record is not None
+    # Four ONP sweeps by Feb 1 (Jan 10, 17, 24, 31).
+    assert record.count == 4
+    assert record.mode == 7
+
+
+def test_attack_pulse_applied_between_syncs(host):
+    manager = make_manager()
+    t0 = date_to_sim(2014, 1, 10)
+    manager.sync(host, t0)
+    pulse = AttackPulse(
+        start=t0 + 86400,
+        duration=60.0,
+        victim_ip=0xDEADBEEF,
+        victim_port=80,
+        amplifier_ip=host.ip,
+        query_rate=10.0,
+        mode=7,
+        spoofer_ttl=109,
+    )
+    manager.register_pulses([pulse])
+    server = manager.sync(host, t0 + 7 * 86400)
+    record = server.table.get(0xDEADBEEF)
+    assert record is not None
+    assert record.count == 600
+
+
+def test_pulse_not_applied_twice(host):
+    manager = make_manager()
+    t0 = date_to_sim(2014, 1, 10)
+    pulse = AttackPulse(
+        start=t0 + 100,
+        duration=10.0,
+        victim_ip=0xCAFE,
+        victim_port=80,
+        amplifier_ip=host.ip,
+        query_rate=10.0,
+        mode=7,
+        spoofer_ttl=109,
+    )
+    manager.register_pulses([pulse])
+    manager.sync(host, t0 + 1000)
+    server = manager.sync(host, t0 + 2000)
+    assert server.table.get(0xCAFE).count == 100
+
+
+def test_inflight_pulse_not_recorded(host):
+    manager = make_manager()
+    t0 = date_to_sim(2014, 1, 10)
+    pulse = AttackPulse(
+        start=t0 - 50,
+        duration=1000.0,
+        victim_ip=0xBEEF,
+        victim_port=80,
+        amplifier_ip=host.ip,
+        query_rate=10.0,
+        mode=7,
+        spoofer_ttl=109,
+    )
+    manager.register_pulses([pulse])
+    server = manager.sync(host, t0)
+    assert server.table.get(0xBEEF) is None
+    # Once the pulse has ended it shows up whole.
+    server = manager.sync(host, t0 + 2000)
+    assert server.table.get(0xBEEF).count == 10000
+
+
+def test_malicious_activity_creates_scanner_entries(host):
+    manager = make_manager()
+    from repro.sim.events import ScanSweep
+
+    t0 = date_to_sim(2014, 1, 10)
+    sweeps = [
+        ScanSweep(
+            t=t0 - i * 86400,
+            scanner_ip=50000 + i,
+            kind="malicious",
+            mode=7,
+            coverage=0.9,
+            targets_per_second=100.0,
+            ttl=54,
+            duration=3600.0,
+        )
+        for i in range(3)
+    ]
+    manager.register_malicious_activity(sweeps)
+    server = manager.sync(host, t0 + 10)
+    scanner_records = [
+        server.table.get(ip) for ip in (50000, 50001, 50002) if ip in server.table
+    ]
+    assert scanner_records  # high coverage => hits expected
+
+
+def test_restart_flushes_old_state():
+    """A host with a short restart interval forgets pre-flush history."""
+    rng = RngStream(13, "restart-test")
+    registry = ASRegistry(rng.child("asn"), n_ases=300)
+    pbl = PolicyBlockList(registry)
+    pool = build_host_pool(rng.child("hosts"), registry, pbl, PoolParams(scale=0.0002))
+    host = next(
+        h
+        for h in pool.monlist_hosts
+        if h.restart_interval is not None and h.restart_interval < 5 * 86400 and h.birth == 0.0
+    )
+    manager = make_manager()
+    t0 = date_to_sim(2014, 1, 10)
+    pulse = AttackPulse(
+        start=t0 + 3600,
+        duration=10.0,
+        victim_ip=0xF00D,
+        victim_port=80,
+        amplifier_ip=host.ip,
+        query_rate=100.0,
+        mode=7,
+        spoofer_ttl=109,
+    )
+    manager.register_pulses([pulse])
+    manager.sync(host, t0 + 7200)
+    # After more than a restart interval, the victim entry must be gone.
+    server = manager.sync(host, t0 + 3600 + 3 * host.restart_interval)
+    assert server.table.get(0xF00D) is None

@@ -1,0 +1,85 @@
+"""Tests for the longest-prefix-match trie."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import Prefix, PrefixTrie, parse_ip
+
+
+def test_empty_trie():
+    trie = PrefixTrie()
+    assert len(trie) == 0
+    assert trie.lookup(parse_ip("1.2.3.4")) is None
+
+
+def test_exact_and_lpm_lookup():
+    trie = PrefixTrie()
+    trie.insert(Prefix.parse("10.0.0.0/8"), "eight")
+    trie.insert(Prefix.parse("10.1.0.0/16"), "sixteen")
+    assert trie.lookup(parse_ip("10.1.2.3")) == "sixteen"
+    assert trie.lookup(parse_ip("10.2.2.3")) == "eight"
+    assert trie.lookup(parse_ip("11.0.0.0")) is None
+    assert trie.lookup_exact(Prefix.parse("10.0.0.0/8")) == "eight"
+    assert trie.lookup_exact(Prefix.parse("10.0.0.0/9")) is None
+
+
+def test_insert_replaces():
+    trie = PrefixTrie()
+    p = Prefix.parse("10.0.0.0/8")
+    trie.insert(p, 1)
+    trie.insert(p, 2)
+    assert len(trie) == 1
+    assert trie.lookup_exact(p) == 2
+
+
+def test_default_route():
+    trie = PrefixTrie()
+    trie.insert(Prefix(0, 0), "default")
+    trie.insert(Prefix.parse("10.0.0.0/8"), "ten")
+    assert trie.lookup(parse_ip("1.1.1.1")) == "default"
+    assert trie.lookup(parse_ip("10.1.1.1")) == "ten"
+
+
+def test_contains():
+    trie = PrefixTrie()
+    p = Prefix.parse("10.0.0.0/8")
+    assert p not in trie
+    trie.insert(p, True)
+    assert p in trie
+
+
+def test_insert_requires_prefix():
+    with pytest.raises(TypeError):
+        PrefixTrie().insert("10.0.0.0/8", 1)
+
+
+def test_items_sorted():
+    trie = PrefixTrie()
+    prefixes = [Prefix.parse(s) for s in ("20.0.0.0/8", "10.0.0.0/8", "10.128.0.0/9")]
+    for i, p in enumerate(prefixes):
+        trie.insert(p, i)
+    items = trie.items()
+    assert [str(p) for p, _ in items] == ["10.0.0.0/8", "10.128.0.0/9", "20.0.0.0/8"]
+
+
+prefix_strategy = st.builds(
+    Prefix,
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=1, max_value=32),
+)
+
+
+@given(st.lists(prefix_strategy, min_size=1, max_size=30), st.integers(0, 2**32 - 1))
+def test_lpm_matches_linear_scan(prefixes, ip):
+    """Property: trie LPM equals a brute-force longest-match scan."""
+    trie = PrefixTrie()
+    table = {}
+    for p in prefixes:
+        trie.insert(p, str(p))
+        table[p] = str(p)
+    expected = None
+    best_len = -1
+    for p, v in table.items():
+        if p.contains(ip) and p.length > best_len:
+            expected, best_len = v, p.length
+    assert trie.lookup(ip) == expected

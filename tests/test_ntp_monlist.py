@@ -1,0 +1,171 @@
+"""Tests for the monlist MRU table, including property-based invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ntp import MONLIST_CAPACITY, MonlistTable, decode_mode7
+from repro.ntp.constants import IMPL_XNTPD, IMPL_XNTPD_OLD, REQ_MON_GETLIST, REQ_MON_GETLIST_1
+
+
+def test_record_and_len():
+    table = MonlistTable()
+    table.record(1, 123, 3, 4, now=100.0)
+    table.record(2, 123, 3, 4, now=200.0)
+    assert len(table) == 2
+    assert 1 in table and 3 not in table
+
+
+def test_record_merges_same_addr():
+    table = MonlistTable()
+    table.record(1, 123, 3, 4, now=100.0)
+    table.record(1, 123, 3, 4, now=500.0, packets=3)
+    rec = table.get(1)
+    assert rec.count == 4
+    assert rec.last_seen == 500.0
+    assert rec.first_seen == 100.0
+
+
+def test_record_span_sets_first_seen():
+    table = MonlistTable()
+    table.record(1, 80, 7, 2, now=1000.0, packets=100, span=40.0)
+    rec = table.get(1)
+    assert rec.first_seen == 960.0
+
+
+def test_out_of_order_records_keep_latest():
+    table = MonlistTable()
+    table.record(1, 123, 3, 4, now=500.0)
+    table.record(1, 123, 3, 4, now=100.0)  # late-arriving older observation
+    rec = table.get(1)
+    assert rec.last_seen == 500.0
+    assert rec.first_seen == 100.0
+    assert rec.count == 2
+
+
+def test_entries_mru_order_and_intervals():
+    table = MonlistTable()
+    table.record(10, 123, 3, 4, now=100.0)
+    table.record(20, 123, 3, 4, now=300.0)
+    table.record(30, 123, 3, 4, now=200.0)
+    entries = table.entries_mru(now=400.0)
+    assert [e.addr for e in entries] == [20, 30, 10]
+    assert entries[0].last_int == 100
+    assert entries[-1].last_int == 300
+
+
+def test_render_caps_at_capacity():
+    table = MonlistTable(capacity=5)
+    for i in range(20):
+        table.record(i, 123, 3, 4, now=float(i))
+    entries = table.entries_mru(now=100.0)
+    assert len(entries) == 5
+    assert [e.addr for e in entries] == [19, 18, 17, 16, 15]
+
+
+def test_lazy_prune_bounds_memory():
+    table = MonlistTable(capacity=10)
+    for i in range(100):
+        table.record(i, 123, 3, 4, now=float(i))
+    assert table.n_tracked <= 20
+
+
+def test_clear():
+    table = MonlistTable()
+    table.record(1, 123, 3, 4, now=1.0)
+    table.clear()
+    assert len(table) == 0
+
+
+def test_invalid_inputs():
+    table = MonlistTable()
+    with pytest.raises(ValueError):
+        table.record(1, 123, 3, 4, now=1.0, packets=0)
+    with pytest.raises(ValueError):
+        table.record(1, 123, 3, 4, now=1.0, span=-1.0)
+    with pytest.raises(ValueError):
+        MonlistTable(capacity=0)
+
+
+def test_render_empty_table_single_packet():
+    table = MonlistTable()
+    packets = table.render_response_packets(0.0, 2, IMPL_XNTPD)
+    assert len(packets) == 1
+    pkt = decode_mode7(packets[0])
+    assert pkt.n_items == 0
+    assert not pkt.more
+
+
+@pytest.mark.parametrize(
+    "entry_version,impl,req,per_packet",
+    [(2, IMPL_XNTPD, REQ_MON_GETLIST_1, 6), (1, IMPL_XNTPD_OLD, REQ_MON_GETLIST, 15)],
+)
+def test_render_packetization(entry_version, impl, req, per_packet):
+    table = MonlistTable()
+    for i in range(per_packet + 1):
+        table.record(i, 123, 3, 4, now=float(i))
+    packets = table.render_response_packets(100.0, entry_version, impl)
+    assert len(packets) == 2
+    first, last = decode_mode7(packets[0]), decode_mode7(packets[1])
+    assert first.more and not last.more
+    assert first.n_items == per_packet
+    assert last.n_items == 1
+    assert first.request_code == req
+    assert first.sequence == 0 and last.sequence == 1
+
+
+def test_render_full_table_v2_packet_count():
+    table = MonlistTable()
+    for i in range(1000):
+        table.record(i, 123, 3, 4, now=float(i))
+    packets = table.render_response_packets(2000.0, 2, IMPL_XNTPD)
+    assert len(packets) == 100  # 600 entries / 6 per packet
+    total_items = sum(decode_mode7(p).n_items for p in packets)
+    assert total_items == MONLIST_CAPACITY
+
+
+def test_render_rejects_unknown_version():
+    with pytest.raises(ValueError):
+        MonlistTable().render_response_packets(0.0, 3, IMPL_XNTPD)
+
+
+def test_sequence_wraps_at_128():
+    table = MonlistTable(capacity=600)
+    # Enough records to need >128 v2 packets would exceed capacity, so wrap
+    # is only reachable via sequence_start.
+    table.record(1, 123, 3, 4, now=0.0)
+    packets = table.render_response_packets(1.0, 2, IMPL_XNTPD, sequence_start=127)
+    assert decode_mode7(packets[0]).sequence == 127
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=50),  # addr
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),  # time
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_mru_invariants(events):
+    """Properties: render order is by recency, counts sum to events, and the
+    render never exceeds capacity."""
+    table = MonlistTable(capacity=25)
+    latest = {}
+    counts = {}
+    for addr, t in events:
+        table.record(addr, 123, 3, 4, now=t)
+        latest[addr] = max(latest.get(addr, t), t)
+        counts[addr] = counts.get(addr, 0) + 1
+    now = 2e6
+    entries = table.entries_mru(now)
+    assert len(entries) <= 25
+    # MRU order: non-increasing recency.
+    last_ints = [e.last_int for e in entries]
+    assert last_ints == sorted(last_ints)
+    # Rendered counts match the number of events per addr (no pruning can
+    # have dropped an entry that is still within the render set unless more
+    # than capacity distinct addrs were recorded).
+    if len(counts) <= 25:
+        assert {e.addr: e.count for e in entries} == counts

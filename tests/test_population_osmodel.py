@@ -1,0 +1,85 @@
+"""Tests for the OS / stratum / compile-year models."""
+
+import pytest
+
+from repro.population import (
+    OS_ALL_NTP,
+    OS_AMPLIFIERS,
+    OS_MEGA,
+    STRATUM16_FRACTION,
+    sample_system_attributes,
+)
+from repro.util import RngStream
+
+
+@pytest.fixture(scope="module")
+def samples():
+    rng = RngStream(1, "os")
+    return {
+        pop: sample_system_attributes(rng.child(pop), 6000, population=pop)
+        for pop in ("all", "amplifier", "mega")
+    }
+
+
+def _family_fraction(attrs, family):
+    return sum(1 for a in attrs if a.os_family == family) / len(attrs)
+
+
+def test_distributions_sum_to_one():
+    for dist in (OS_ALL_NTP, OS_AMPLIFIERS, OS_MEGA):
+        assert sum(dist.values()) == pytest.approx(1.0, abs=0.01)
+
+
+def test_all_ntp_dominated_by_cisco(samples):
+    attrs = samples["all"]
+    assert _family_fraction(attrs, "cisco") == pytest.approx(0.484, abs=0.04)
+    assert _family_fraction(attrs, "unix") == pytest.approx(0.306, abs=0.04)
+
+
+def test_amplifiers_dominated_by_linux(samples):
+    attrs = samples["amplifier"]
+    assert _family_fraction(attrs, "linux") == pytest.approx(0.802, abs=0.04)
+    assert _family_fraction(attrs, "cisco") < 0.02
+
+
+def test_mega_split_linux_junos(samples):
+    attrs = samples["mega"]
+    assert _family_fraction(attrs, "linux") == pytest.approx(0.442, abs=0.05)
+    assert _family_fraction(attrs, "junos") == pytest.approx(0.359, abs=0.05)
+    # cygwin appears only in the mega pool.
+    assert _family_fraction(attrs, "cygwin") > 0.02
+    assert _family_fraction(samples["all"], "cygwin") == 0.0
+
+
+def test_stratum16_fraction(samples):
+    for attrs in samples.values():
+        frac = sum(1 for a in attrs if a.stratum == 16) / len(attrs)
+        assert frac == pytest.approx(STRATUM16_FRACTION, abs=0.03)
+
+
+def test_compile_year_cdf(samples):
+    years = [a.compile_year for a in samples["all"]]
+    n = len(years)
+    assert sum(1 for y in years if y < 2004) / n == pytest.approx(0.13, abs=0.03)
+    assert sum(1 for y in years if y < 2012) / n == pytest.approx(0.59, abs=0.04)
+    assert sum(1 for y in years if y >= 2013) / n == pytest.approx(0.21, abs=0.04)
+
+
+def test_attributes_complete(samples):
+    for attrs in samples.values():
+        for a in attrs[:200]:
+            assert a.system
+            assert a.processor
+            assert a.daemon_version
+            assert 1 <= a.stratum <= 16
+
+
+def test_unknown_population_rejected():
+    with pytest.raises(ValueError):
+        sample_system_attributes(RngStream(1, "x"), 10, population="bogus")
+
+
+def test_reproducible():
+    a = sample_system_attributes(RngStream(3, "s"), 50)
+    b = sample_system_attributes(RngStream(3, "s"), 50)
+    assert a == b

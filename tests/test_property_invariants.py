@@ -1,0 +1,125 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.measurement.arbor import ArborCollector
+from repro.population.remediation import SurvivalCurve
+from repro.util import RngStream, Timeline
+from repro.util.simtime import DAY
+
+
+# -- survival curves --------------------------------------------------------------
+
+survival_anchor_lists = st.lists(
+    st.floats(min_value=0.01, max_value=1.0, allow_nan=False), min_size=2, max_size=8
+).map(lambda vs: sorted(vs, reverse=True))
+
+
+@given(survival_anchor_lists, st.floats(min_value=0.011, max_value=0.999))
+def test_survival_inverse_consistency(values, s):
+    """Property: inverse(s) is the first time survival has fallen to <= s.
+
+    When ``s`` falls inside the curve's opening jump (an anchor below 1.0
+    at the start), the crossing happens *at* the first anchor, where
+    survival is already below ``s``; elsewhere the crossing is exact.
+    """
+    anchors = [(float(i) * 1000.0, v) for i, v in enumerate(values)]
+    curve = SurvivalCurve(anchors)
+    t = curve.inverse(s)
+    if t is None:
+        # Only values at or below the floor are never reached.
+        assert s <= curve.floor + 1e-12
+        return
+    value = curve.value_at(t)
+    assert value <= s + 1e-9
+    if t > curve.start:
+        assert value == pytest.approx(s, rel=1e-6, abs=1e-9)
+
+
+@given(survival_anchor_lists, st.floats(min_value=0.0, max_value=8000.0))
+def test_survival_monotone(values, t):
+    anchors = [(float(i) * 1000.0, v) for i, v in enumerate(values)]
+    curve = SurvivalCurve(anchors)
+    assert curve.value_at(t) >= curve.value_at(t + 500.0) - 1e-12
+
+
+# -- timelines --------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+        ),
+        min_size=2,
+        max_size=8,
+        unique_by=lambda p: round(p[0], 3),
+    ).map(lambda ps: sorted(ps)),
+    st.floats(min_value=-1e5, max_value=1.1e6, allow_nan=False),
+)
+def test_timeline_within_envelope(points, t):
+    """Property: interpolation stays within the min/max of anchor values."""
+    times = [p[0] for p in points]
+    if any(b - a < 1e-6 for a, b in zip(times, times[1:])):
+        return  # degenerate spacing
+    line = Timeline(points)
+    values = [v for _, v in points]
+    assert min(values) - 1e-9 <= line(t) <= max(values) + 1e-9
+
+
+@given(st.floats(min_value=0.1, max_value=1e3), st.floats(min_value=0.1, max_value=1e3))
+def test_log_timeline_endpoint_exactness(v0, v1):
+    line = Timeline([(0.0, v0), (10.0, v1)], log=True)
+    assert line(0.0) == pytest.approx(v0, rel=1e-9)
+    assert line(10.0) == pytest.approx(v1, rel=1e-9)
+
+
+# -- arbor integration --------------------------------------------------------------
+
+
+class _FakeAttack:
+    def __init__(self, start, duration, bps):
+        self.start = start
+        self.duration = duration
+        self.target_bps = bps
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=20 * DAY, allow_nan=False),
+            st.floats(min_value=1.0, max_value=3 * DAY, allow_nan=False),
+            st.floats(min_value=1e3, max_value=1e9, allow_nan=False),
+        ),
+        min_size=0,
+        max_size=12,
+    )
+)
+def test_attack_byte_integration_conserves_volume(specs):
+    """Property: per-day integration conserves each attack's total bytes
+    (modulo the fixed 4% query-direction overhead)."""
+    collector = ArborCollector(RngStream(1, "prop"), scale=0.001)
+    attacks = [_FakeAttack(s, d, b) for s, d, b in specs]
+    per_day = collector._attack_bytes_per_day(attacks)
+    total = sum(per_day.values())
+    expected = sum(a.target_bps / 8.0 * a.duration for a in attacks) * 1.04
+    assert total == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=5 * DAY),
+    st.floats(min_value=1.0, max_value=2 * DAY),
+)
+def test_attack_byte_integration_day_bounds(start, duration):
+    """Property: bytes land only on days the attack actually spans."""
+    collector = ArborCollector(RngStream(2, "prop"), scale=0.001)
+    per_day = collector._attack_bytes_per_day([_FakeAttack(start, duration, 8e6)])
+    first_day = int(start // DAY)
+    last_day = int((start + duration) // DAY)
+    assert set(per_day) <= set(range(first_day, last_day + 1))
+    assert all(v > 0 for v in per_day.values())

@@ -1,0 +1,87 @@
+"""Tests for the ntpdc-style diagnostic client."""
+
+import pytest
+
+from repro.ntp import IMPL_XNTPD, IMPL_XNTPD_OLD, NtpServer, ServerConfig
+from repro.tools import ntpdc_monlist, ntpdc_sysinfo
+
+
+def make_server(**config):
+    server = NtpServer(ip=0x0A0B0C0D, config=ServerConfig(**config))
+    for i in range(8):
+        server.record_client(2000 + i, 123, 3, 4, now=float(i))
+    return server
+
+
+def test_monlist_modern_server_first_try():
+    server = make_server(implementations=frozenset({IMPL_XNTPD}))
+    result = ntpdc_monlist(server, client_ip=999, now=100.0)
+    assert result
+    assert result.attempts == 1
+    assert result.implementation == IMPL_XNTPD
+    assert len(result.entries) == 9  # 8 clients + the query itself
+    # MRU order: the query tops the list.
+    assert result.entries[0].addr == 999
+
+
+def test_monlist_falls_back_to_legacy():
+    server = make_server(implementations=frozenset({IMPL_XNTPD_OLD}))
+    result = ntpdc_monlist(server, client_ip=999, now=100.0)
+    assert result
+    assert result.attempts == 2
+    assert result.implementation == IMPL_XNTPD_OLD
+    assert len(result.entries) >= 9
+
+
+def test_onp_mode_misses_legacy_servers():
+    """fallback=False reproduces the ONP scans' acknowledged undercount."""
+    server = make_server(implementations=frozenset({IMPL_XNTPD_OLD}))
+    result = ntpdc_monlist(server, client_ip=999, now=100.0, fallback=False)
+    assert not result
+    assert result.attempts == 1
+    assert result.entries == ()
+
+
+def test_monlist_disabled_server_fails_both():
+    server = make_server(monlist_enabled=False)
+    result = ntpdc_monlist(server, client_ip=999, now=100.0)
+    assert not result
+    assert result.attempts == 2
+
+
+def test_monlist_multi_packet_reassembly():
+    server = NtpServer(ip=1, config=ServerConfig())
+    for i in range(40):
+        server.record_client(3000 + i, 123, 3, 4, now=float(i))
+    result = ntpdc_monlist(server, client_ip=999, now=1000.0)
+    assert result.n_packets >= 7  # 41 entries at 6 per packet
+    last_ints = [e.last_int for e in result.entries]
+    assert last_ints == sorted(last_ints)  # MRU order across packets
+
+
+def test_monlist_refuses_mega_floods():
+    server = make_server(loop_factor=1_000_000)
+    with pytest.raises(ValueError):
+        ntpdc_monlist(server, client_ip=999, now=100.0, max_packets=100)
+
+
+def test_sysinfo():
+    server = make_server(stratum=4, system="FreeBSD/9.1", compile_year=2009)
+    variables = ntpdc_sysinfo(server, client_ip=999, now=100.0)
+    assert variables["system"] == "FreeBSD/9.1"
+    assert variables["stratum"] == "4"
+    assert "2009" in variables["version"]
+
+
+def test_sysinfo_disabled():
+    server = make_server(responds_version=False)
+    assert ntpdc_sysinfo(server, client_ip=999, now=100.0) is None
+
+
+def test_counts_accumulate_across_runs():
+    server = make_server()
+    first = ntpdc_monlist(server, client_ip=999, now=100.0)
+    second = ntpdc_monlist(server, client_ip=999, now=200.0)
+    me_first = next(e for e in first.entries if e.addr == 999)
+    me_second = next(e for e in second.entries if e.addr == 999)
+    assert me_second.count == me_first.count + 1

@@ -1,0 +1,84 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.util import RngStream, derive_seed
+
+
+def test_derive_seed_is_stable():
+    assert derive_seed(42, "a") == derive_seed(42, "a")
+
+
+def test_derive_seed_differs_by_name_and_seed():
+    assert derive_seed(42, "a") != derive_seed(42, "b")
+    assert derive_seed(42, "a") != derive_seed(43, "a")
+
+
+def test_derive_seed_rejects_empty_name():
+    with pytest.raises(ValueError):
+        derive_seed(42, "")
+
+
+def test_streams_reproducible():
+    a = RngStream(7, "x").random(10)
+    b = RngStream(7, "x").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_streams_independent_of_creation_order():
+    s1 = RngStream(7, "first")
+    _ = s1.random(100)
+    s2 = RngStream(7, "second")
+    fresh = RngStream(7, "second")
+    assert np.array_equal(s2.random(5), fresh.random(5))
+
+
+def test_child_streams_namespaced():
+    parent = RngStream(7, "p")
+    child = parent.child("c")
+    assert child.seed == derive_seed(7, "p/c")
+
+
+def test_bounded_pareto_respects_bounds():
+    rng = RngStream(1, "pareto")
+    samples = rng.bounded_pareto(0.4, 1.0, 600.0, size=5000)
+    assert samples.min() >= 1.0
+    assert samples.max() <= 600.0
+
+
+def test_bounded_pareto_is_heavy_tailed():
+    rng = RngStream(1, "pareto2")
+    samples = rng.bounded_pareto(0.4, 1.0, 600.0, size=20000)
+    median = np.median(samples)
+    mean = samples.mean()
+    assert mean > 3 * median  # heavy tail: mean far above median
+
+
+def test_bounded_pareto_validates_args():
+    rng = RngStream(1, "pareto3")
+    with pytest.raises(ValueError):
+        rng.bounded_pareto(0.4, 0.0, 10.0)
+    with pytest.raises(ValueError):
+        rng.bounded_pareto(0.4, 5.0, 5.0)
+    with pytest.raises(ValueError):
+        rng.bounded_pareto(-1.0, 1.0, 10.0)
+
+
+def test_zipf_ranks_skewed_to_low_ranks():
+    rng = RngStream(1, "zipf")
+    ranks = rng.zipf_ranks(100, 1.2, size=10000)
+    assert (ranks == 0).mean() > (ranks == 50).mean()
+    assert ranks.min() >= 0 and ranks.max() < 100
+
+
+def test_lognormal_for_median_centers_on_median():
+    rng = RngStream(1, "ln")
+    samples = rng.lognormal_for_median(40.0, 0.5, size=20000)
+    assert 35.0 < np.median(samples) < 45.0
+
+
+def test_bernoulli_probability():
+    rng = RngStream(1, "bern")
+    hits = rng.bernoulli(0.25, size=20000)
+    assert 0.22 < hits.mean() < 0.28

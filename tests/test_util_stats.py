@@ -1,0 +1,76 @@
+"""Tests for statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.util import Ecdf, boxplot_summary, percentile, rank_series, safe_ratio
+from repro.util.stats import log_center_bins
+
+
+def test_percentile_basic():
+    assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+
+def test_percentile_empty_is_nan():
+    assert math.isnan(percentile([], 50))
+
+
+def test_boxplot_summary_five_numbers():
+    s = boxplot_summary(range(1, 101))
+    assert s.minimum == 1.0
+    assert s.maximum == 100.0
+    assert 49 <= s.median <= 52
+    assert 24 <= s.q1 <= 27
+    assert 74 <= s.q3 <= 77
+    assert s.count == 100
+    assert s.as_tuple()[0] == s.minimum
+
+
+def test_boxplot_summary_rejects_empty():
+    with pytest.raises(ValueError):
+        boxplot_summary([])
+
+
+def test_ecdf_top_k_fraction():
+    ecdf = Ecdf([50, 30, 10, 5, 5])
+    assert ecdf.fraction_within_top(1) == pytest.approx(0.5)
+    assert ecdf.fraction_within_top(2) == pytest.approx(0.8)
+    assert ecdf.fraction_within_top(100) == pytest.approx(1.0)
+    assert ecdf.fraction_within_top(0) == 0.0
+    assert ecdf.n_items == 5
+
+
+def test_ecdf_series_monotone():
+    series = Ecdf([3, 1, 4, 1, 5]).series()
+    fracs = [f for _, f in series]
+    assert fracs == sorted(fracs)
+    assert fracs[-1] == pytest.approx(1.0)
+
+
+def test_ecdf_rejects_bad_input():
+    with pytest.raises(ValueError):
+        Ecdf([])
+    with pytest.raises(ValueError):
+        Ecdf([0, 0])
+    with pytest.raises(ValueError):
+        Ecdf([1, -1])
+
+
+def test_rank_series_descending():
+    series = rank_series([10, 30, 20])
+    assert series == [(1, 30.0), (2, 20.0), (3, 10.0)]
+
+
+def test_safe_ratio():
+    assert safe_ratio(1, 2) == 0.5
+    assert safe_ratio(1, 0) == 0.0
+
+
+def test_log_center_bins():
+    bins = log_center_bins(1.0, 1000.0, per_decade=2)
+    assert bins[0] == pytest.approx(1.0)
+    assert bins[-1] == pytest.approx(1000.0)
+    assert all(b2 > b1 for b1, b2 in zip(bins, bins[1:]))
+    with pytest.raises(ValueError):
+        log_center_bins(0.0, 10.0)
