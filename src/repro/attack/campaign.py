@@ -187,6 +187,10 @@ class AttackCampaign:
         self._hosts = host_pool
         self._victims = victim_pool
         self.params = params or CampaignParams()
+        #: {id(host): table-only reply bytes} — the estimate depends only on
+        #: host.base_clients, which is fixed once the pool is built, and the
+        #: booter-list sorts ask for it hundreds of thousands of times.
+        self._reply_bytes = {}
 
     # -- internals -------------------------------------------------------------
 
@@ -194,11 +198,16 @@ class AttackCampaign:
         """Rough on-wire bytes one monlist query elicits from ``host`` —
         used to size query rates the way an attacker would (by observing
         the amplifier)."""
+        cached = self._reply_bytes.get(id(host))
+        if cached is not None:
+            return cached
         from repro.population.amplifiers import estimate_monlist_reply_bytes
 
         # Ranking/rate-sizing uses the table-only estimate: attackers'
         # list-building scans record reply sizes, not loop pathologies.
-        return estimate_monlist_reply_bytes(host, include_loop=False)
+        value = estimate_monlist_reply_bytes(host, include_loop=False)
+        self._reply_bytes[id(host)] = value
+        return value
 
     def _sample_list(self, rng, t):
         """A booter's amplifier list: a random slice of the alive pool,

@@ -6,38 +6,53 @@ Usage::
     python -m repro figure F1 [...]      # F1..F16
     python -m repro table  T1 [...]      # T1..T6
     python -m repro validate             # §4.4 cross-dataset validation
+    python -m repro bench-build          # time a build, write BENCH_build.json
     python -m repro list                 # available artifacts and presets
 
 A built world can be cached (``--cache world.pkl``) so successive artifact
-renders skip the simulation.
+renders skip the simulation; the cache is validated against the requested
+(seed, scale) and the package version, and silently rebuilt when stale.
 """
 
 import argparse
-import pickle
+import json
+import os
 import sys
 
-from repro.scenario import PaperWorld
+from repro.scenario import PaperWorld, WorldParams
 from repro.scenario.presets import PRESETS, resolve_preset
 
 __all__ = ["main", "build_or_load_world", "render_artifact", "ARTIFACTS"]
 
 
+def _world_params(args):
+    scale = args.scale if args.scale is not None else resolve_preset(args.preset).scale
+    return WorldParams(seed=args.seed, scale=scale)
+
+
 def build_or_load_world(args):
-    """Build the world from CLI args, honoring the optional pickle cache."""
+    """Build the world from CLI args, honoring the optional pickle cache.
+
+    A cache file is only used when it matches the *requested* world: the
+    embedded (seed, scale, ...) params and package version are validated,
+    and a mismatch triggers a rebuild (with a stderr note) that overwrites
+    the stale entry — a cache must never answer for a different world.
+    """
+    from repro.scenario.cache import CacheMiss, load_world, save_world
+
+    params = _world_params(args)
     if args.cache:
         try:
-            with open(args.cache, "rb") as handle:
-                world = pickle.load(handle)
+            world = load_world(args.cache, params)
             if not args.quiet:
                 print(f"(loaded cached world from {args.cache})", file=sys.stderr)
             return world
-        except (OSError, pickle.UnpicklingError):
-            pass
-    scale = args.scale if args.scale is not None else resolve_preset(args.preset).scale
-    world = PaperWorld.build(seed=args.seed, scale=scale, quiet=args.quiet)
+        except CacheMiss as miss:
+            if os.path.exists(args.cache):
+                print(f"(stale world cache: {miss}; rebuilding)", file=sys.stderr)
+    world = PaperWorld.build(params=params, quiet=args.quiet)
     if args.cache:
-        with open(args.cache, "wb") as handle:
-            pickle.dump(world, handle)
+        save_world(world, args.cache)
         if not args.quiet:
             print(f"(cached world to {args.cache})", file=sys.stderr)
     return world
@@ -395,6 +410,50 @@ def _validate(world):
     )
 
 
+def _bench_build(args):
+    """Build a world fresh (never cached), record phase timings to JSON.
+
+    The JSON is the perf trajectory's unit record: one file per run with
+    enough provenance (seed/scale/version/host counts) to compare across
+    commits.  ``--max-seconds`` turns it into a CI regression gate.
+    """
+    import platform
+    import time as _time
+
+    from repro import __version__
+
+    params = _world_params(args)
+    world = PaperWorld.build(params=params, quiet=args.quiet)
+    timings = dict(world.build_timings)
+    total = timings.pop("total")
+    record = {
+        "seed": params.seed,
+        "scale": params.scale,
+        "n_ases": params.resolved_n_ases(),
+        "package_version": __version__,
+        "python": platform.python_version(),
+        "unix_time": int(_time.time()),
+        "hosts": len(world.hosts),
+        "victims": len(world.victims),
+        "attacks": len(world.attacks),
+        "sweeps": len(world.sweeps),
+        "total_seconds": round(total, 4),
+        "phases": {phase: round(seconds, 4) for phase, seconds in timings.items()},
+    }
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("\n".join(world.timing_summary()))
+    print(f"(wrote {args.out})")
+    if args.max_seconds is not None and total > args.max_seconds:
+        print(
+            f"FAIL: build took {total:.2f}s > ceiling {args.max_seconds:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 ARTIFACTS = {
     "F1": ("Fig 1: global NTP/DNS traffic fractions", _fig1),
     "F2": ("Fig 2: NTP share of attacks by size bin", _fig2),
@@ -451,6 +510,21 @@ def main(argv=None):
 
     p_summary = subparsers.add_parser("summary", help="headline findings vs the paper")
     _add_world_args(p_summary)
+    p_summary.add_argument(
+        "--timings", action="store_true", default=False, help="append per-phase build timings"
+    )
+
+    p_bench = subparsers.add_parser(
+        "bench-build", help="time a world build and write a BENCH_build.json record"
+    )
+    _add_world_args(p_bench)
+    p_bench.add_argument("--out", default="BENCH_build.json", help="output JSON path")
+    p_bench.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="exit nonzero if the build exceeds this wall-clock ceiling (CI smoke)",
+    )
 
     p_figure = subparsers.add_parser("figure", help="render figures F1..F16")
     p_figure.add_argument("ids", nargs="+", metavar="F#")
@@ -476,9 +550,12 @@ def main(argv=None):
             print(f"  {preset.name:>8}  scale={preset.scale}  {preset.description}")
         return 0
 
+    if args.command == "bench-build":
+        return _bench_build(args)
+
     world = build_or_load_world(args)
     if args.command == "summary":
-        print(world.summary())
+        print(world.summary(include_timings=args.timings))
     elif args.command in ("figure", "table"):
         for artifact_id in args.ids:
             print(render_artifact(world, artifact_id))

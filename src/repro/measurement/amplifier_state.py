@@ -51,21 +51,52 @@ class AmplifierStateManager:
         self._servers = {}
         self._last_sync = {}
         self._flush_base = {}
-        self._pulses = {}  # amplifier ip -> sorted list of AttackPulse
-        self._pulse_starts = {}
+        self._pulses = {}  # amplifier ip -> list of AttackPulse (sorted on demand)
+        self._pulse_ends = {}  # amplifier ip -> [pulse.end] aligned with the sorted list
+        self._dirty_pulse_ips = set()  # ips whose pulse list needs (re)sorting
         self._research = research_scanners
+        # Each research scanner's sweep schedule is fixed; computing it once
+        # here (sorted) turns the per-host window query in `_sync_research`
+        # into two bisects instead of an O(sweeps) rebuild per sync.
+        self._research_times = [sorted(s.sweep_times()) for s in research_scanners]
         #: {day index: (total malicious coverage, [scanner ips sample])}
         self._malicious_by_day = malicious_coverage_per_day or {}
 
     # -- wiring -------------------------------------------------------------------
 
     def register_pulses(self, pulses):
-        """Index attack pulses by amplifier (call once, before observing)."""
+        """Index attack pulses by amplifier.
+
+        Append-only and cheap: pulses are bucketed per amplifier and the
+        per-amplifier ordering (by ``end``) is established lazily, once, on
+        the first ``sync`` that needs it.  Call as many times as you like —
+        the world build registers every attack's pulses in one bulk call —
+        but pulses must be registered before any sync whose window should
+        contain them: a pulse whose ``end`` precedes the host's last sync
+        time is never replayed (same contract as the eager implementation).
+        """
+        pulse_map = self._pulses
+        dirty = self._dirty_pulse_ips
         for pulse in pulses:
-            self._pulses.setdefault(pulse.amplifier_ip, []).append(pulse)
-        for ip, plist in self._pulses.items():
+            ip = pulse.amplifier_ip
+            plist = pulse_map.get(ip)
+            if plist is None:
+                pulse_map[ip] = [pulse]
+            else:
+                plist.append(pulse)
+            dirty.add(ip)
+
+    def _sorted_pulses(self, ip):
+        """The host's pulse list sorted by end time (sorted at most once
+        per registration round), plus the aligned end-time index."""
+        plist = self._pulses.get(ip)
+        if plist is None:
+            return None, None
+        if ip in self._dirty_pulse_ips:
             plist.sort(key=lambda p: p.end)
-            self._pulse_starts[ip] = [p.end for p in plist]
+            self._pulse_ends[ip] = [p.end for p in plist]
+            self._dirty_pulse_ips.discard(ip)
+        return plist, self._pulse_ends[ip]
 
     def register_malicious_activity(self, sweeps):
         """Summarize malicious sweeps into per-day (coverage, scanner IPs)."""
@@ -129,19 +160,20 @@ class AmplifierStateManager:
             server.table.put_record(ip, port, MODE_CLIENT, 4, int(count), first, last)
 
     def _sync_research(self, host, server, now, base):
-        for scanner in self._research:
-            visible = [t for t in scanner.sweep_times() if base < t <= now]
+        for scanner, times in zip(self._research, self._research_times):
             # Absolute state: all sweeps since the flush base (idempotent).
-            if not visible:
+            lo = bisect.bisect_right(times, base)
+            hi = bisect.bisect_right(times, now)
+            if lo >= hi:
                 continue
             server.table.put_record(
                 scanner.ip,
                 50000 + (scanner.ip % 10000),
                 scanner.mode,
                 2,
-                len(visible),
-                visible[0],
-                visible[-1],
+                hi - lo,
+                times[lo],
+                times[hi - 1],
             )
 
     def _sync_malicious(self, host, server, now, window_start):
@@ -170,10 +202,9 @@ class AmplifierStateManager:
             server.record_client(ip, int(self._rng.integers(1024, 65535)), mode, 2, min(t, now))
 
     def _sync_pulses(self, host, server, now, window_start):
-        plist = self._pulses.get(host.ip)
+        plist, ends = self._sorted_pulses(host.ip)
         if not plist:
             return
-        ends = self._pulse_starts[host.ip]
         lo = bisect.bisect_right(ends, window_start)
         hi = bisect.bisect_right(ends, now)
         for pulse in plist[lo:hi]:

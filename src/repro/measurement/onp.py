@@ -15,7 +15,7 @@ ntpdc protocol logic, exactly as the paper did.
 from dataclasses import dataclass, field
 
 from repro.attack.scanner import ONP_PROBER_IP
-from repro.ntp.constants import IMPL_XNTPD
+from repro.ntp.constants import IMPL_XNTPD, MODE_CONTROL
 from repro.util.simtime import WEEK, date_to_sim, format_sim, week_samples
 
 __all__ = [
@@ -115,6 +115,12 @@ class OnpProber:
             reply = server.respond_monlist(self._ip, 50557 + (int(t) % 1000), t, IMPL_XNTPD)
             if reply is None:
                 continue
+            # RNG-order contract (pinned; both run_* samplers obey it): the
+            # loss draw happens AFTER reply generation and ONLY for hosts
+            # that produced a reply.  The probe is always recorded by the
+            # server (loss models the response path), and hosts that cannot
+            # reply must not consume a draw — reordering either part shifts
+            # every subsequent draw and breaks world determinism.
             if rng.random() < self._loss:
                 continue
             sample.captures.append(
@@ -133,14 +139,24 @@ class OnpProber:
         for host in host_pool.version_hosts:
             if not host.version_active(t):
                 continue
-            if rng.random() < self._loss:
-                continue
             # Version replies don't depend on monitor-table state, so no
-            # table sync is needed — the probe is still recorded.
+            # table sync is needed.  The reply is rendered without logging
+            # the probe: version-scan loss models the probe being filtered
+            # before it reaches the target, so a lost probe leaves no
+            # monitor-table trace (unlike monlist loss, which drops only
+            # the response of an already-recorded probe).
             server = self._state.server_for(host)
-            reply = server.respond_version(self._ip, 50557, t)
+            reply = server.respond_version(self._ip, 50557, t, record=False)
             if reply is None:
                 continue
+            # Same RNG-order contract as run_monlist_sample (pinned): loss
+            # is drawn AFTER reply generation, one draw per replying host.
+            # A version-active host always replies, so this consumes draws
+            # for exactly the hosts the pre-reply ordering did — do not
+            # move the draw, it would shift every subsequent one.
+            if rng.random() < self._loss:
+                continue
+            server.record_client(self._ip, 50557, MODE_CONTROL, 2, t, packets=server.config.loop_factor)
             sample.captures.append(
                 ProbeCapture(
                     target_ip=host.ip,

@@ -25,7 +25,7 @@ from repro.ntp.constants import (
     REQ_MON_GETLIST_1,
     items_per_packet,
 )
-from repro.ntp.wire import MonitorEntry, encode_mode7_response, encode_monitor_entry
+from repro.ntp.wire import MonitorEntry, encode_mode7_response, encode_monitor_fields
 
 __all__ = ["MonlistRecord", "MonlistTable"]
 
@@ -175,24 +175,41 @@ class MonlistTable:
             request_code = REQ_MON_GETLIST
         else:
             raise ValueError(f"unknown entry version {entry_version}")
-        entries = self.entries_mru(now)
+        # Hot path: encode straight from the records (same bytes as
+        # entries_mru + encode_monitor_entry, without building a
+        # MonitorEntry per record — this renders once per probe for every
+        # alive amplifier in every weekly sample).
+        ordered = sorted(self._records.values(), key=lambda r: r.last_seen, reverse=True)
+        ordered = ordered[: self.capacity]
         per_packet = items_per_packet(item_size)
         packets = []
-        if not entries:
+        if not ordered:
             packets.append(
                 encode_mode7_response(implementation, request_code, sequence_start % 128, False, [], item_size)
             )
             return packets
-        chunks = [entries[i : i + per_packet] for i in range(0, len(entries), per_packet)]
+        encoded = [
+            encode_monitor_fields(
+                entry_version,
+                max(0, int(now - rec.last_seen)),
+                max(0, int(now - rec.first_seen)),
+                rec.count,
+                rec.addr,
+                rec.port,
+                rec.mode,
+                rec.version,
+            )
+            for rec in ordered
+        ]
+        chunks = [encoded[i : i + per_packet] for i in range(0, len(encoded), per_packet)]
         for index, chunk in enumerate(chunks):
-            encoded = [encode_monitor_entry(e, entry_version) for e in chunk]
             packets.append(
                 encode_mode7_response(
                     implementation,
                     request_code,
                     (sequence_start + index) % 128,
                     more=index < len(chunks) - 1,
-                    items=encoded,
+                    items=chunk,
                     item_size=item_size,
                 )
             )

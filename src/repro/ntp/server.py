@@ -147,6 +147,9 @@ class NtpServer:
         # Deterministic restart phase so flush times differ across servers.
         interval = self.config.restart_interval
         self._next_flush = None if interval is None else (ip % 997) / 997.0 * interval
+        # The mode-6 version reply is a pure function of the (frozen)
+        # config and ip, so it is rendered at most once per server.
+        self._version_reply = None
 
     # -- restart / flush cycle -------------------------------------------------
 
@@ -214,12 +217,20 @@ class NtpServer:
         packets = self.table.render_response_packets(now, entry_version, implementation)
         return ProbeReply(packets=tuple(packets), n_repeats=loop)
 
-    def respond_version(self, src_ip, src_port, now):
-        """Handle one mode-6 READVAR ("version") probe."""
+    def respond_version(self, src_ip, src_port, now, record=True):
+        """Handle one mode-6 READVAR ("version") probe.
+
+        ``record=False`` renders the reply without logging the probe in the
+        monitor table — used by samplers that decide only afterwards
+        whether the probe ever reached the server (probe-path loss).
+        """
         loop = self.config.loop_factor
-        self.record_client(src_ip, src_port, MODE_CONTROL, 2, now, packets=loop)
+        if record:
+            self.record_client(src_ip, src_port, MODE_CONTROL, 2, now, packets=loop)
         if not self.config.responds_version:
             return None
+        if self._version_reply is not None:
+            return self._version_reply
         cfg = self.config
         payload = render_system_variables(
             cfg.daemon_version,
@@ -245,7 +256,8 @@ class NtpServer:
                     more=index < len(fragments) - 1,
                 )
             )
-        return ProbeReply(packets=tuple(packets), n_repeats=loop)
+        self._version_reply = ProbeReply(packets=tuple(packets), n_repeats=loop)
+        return self._version_reply
 
     def respond_time(self, src_ip, src_port, now):
         """Handle a normal mode-3 client poll with a mode-4 reply."""

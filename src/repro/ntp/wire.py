@@ -101,34 +101,58 @@ def _clamp_u32(value):
     return min(max(int(value), 0), _U32_MAX)
 
 
-def encode_monitor_entry(entry, entry_version):
-    """Encode a :class:`MonitorEntry` as v1 (32 B) or v2 (72 B) bytes."""
+def encode_monitor_fields(
+    entry_version, last_int, first_int, count, addr, port, mode, version, daddr=0, flags=0, restr=0
+):
+    """Encode raw monitor-entry fields as v1 (32 B) or v2 (72 B) bytes.
+
+    The allocation-free core of :func:`encode_monitor_entry`; bulk table
+    rendering calls it directly so the hot path never materializes a
+    :class:`MonitorEntry` per record.
+    """
     if entry_version == 2:
         return _V2_STRUCT.pack(
-            _clamp_u32(entry.last_int),
-            _clamp_u32(entry.first_int),
-            _clamp_u32(entry.restr),
-            _clamp_u32(entry.count),
-            entry.addr & _U32_MAX,
-            entry.daddr & _U32_MAX,
-            entry.flags & _U32_MAX,
-            entry.port & 0xFFFF,
-            entry.mode & 0xFF,
-            entry.version & 0xFF,
+            _clamp_u32(last_int),
+            _clamp_u32(first_int),
+            _clamp_u32(restr),
+            _clamp_u32(count),
+            addr & _U32_MAX,
+            daddr & _U32_MAX,
+            flags & _U32_MAX,
+            port & 0xFFFF,
+            mode & 0xFF,
+            version & 0xFF,
         )
     if entry_version == 1:
         return _V1_STRUCT.pack(
-            _clamp_u32(entry.last_int),
-            _clamp_u32(entry.first_int),
-            _clamp_u32(entry.count),
-            entry.addr & _U32_MAX,
-            entry.daddr & _U32_MAX,
-            entry.flags & _U32_MAX,
-            entry.port & 0xFFFF,
-            entry.mode & 0xFF,
-            entry.version & 0xFF,
+            _clamp_u32(last_int),
+            _clamp_u32(first_int),
+            _clamp_u32(count),
+            addr & _U32_MAX,
+            daddr & _U32_MAX,
+            flags & _U32_MAX,
+            port & 0xFFFF,
+            mode & 0xFF,
+            version & 0xFF,
         )
     raise WireError(f"unknown monitor entry version {entry_version}")
+
+
+def encode_monitor_entry(entry, entry_version):
+    """Encode a :class:`MonitorEntry` as v1 (32 B) or v2 (72 B) bytes."""
+    return encode_monitor_fields(
+        entry_version,
+        entry.last_int,
+        entry.first_int,
+        entry.count,
+        entry.addr,
+        entry.port,
+        entry.mode,
+        entry.version,
+        daddr=entry.daddr,
+        flags=entry.flags,
+        restr=entry.restr,
+    )
 
 
 def decode_monitor_entries(data, item_size, n_items):

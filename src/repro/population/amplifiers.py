@@ -247,6 +247,70 @@ class PoolParams:
         return max(3, int(self.mega_full * self.scale))
 
 
+class _LivenessIndex:
+    """Vectorized [birth, end) interval index over a host list.
+
+    The liveness predicates (``monlist_active``/``version_active``/
+    ``exists_at``) all reduce to ``birth <= t < end`` for a per-host
+    effective end time, so one pair of NumPy arrays answers any "alive at
+    t" query with two vectorized comparisons instead of a Python-level
+    method call per host.  Results preserve the source list's order, so
+    callers that index into the returned list with RNG draws see exactly
+    the sequence the naive scan produced.
+
+    The index is built lazily and rebuilt when the source list grows (the
+    scenario layer plants local amplifiers after pool construction).
+    Mutating liveness attributes of already-indexed hosts requires an
+    explicit :meth:`invalidate`.
+    """
+
+    def __init__(self, hosts, end_times_of):
+        self._hosts = hosts
+        self._end_times_of = end_times_of
+        self._births = None
+        self._ends = None
+        self._indexed = -1
+
+    def invalidate(self):
+        self._indexed = -1
+
+    def _ensure(self):
+        if self._indexed == len(self._hosts):
+            return
+        hosts = self._hosts
+        self._births = np.array([h.birth for h in hosts], dtype=np.float64)
+        self._ends = np.array([self._end_times_of(h) for h in hosts], dtype=np.float64)
+        self._indexed = len(hosts)
+
+    def alive(self, t):
+        self._ensure()
+        mask = (self._births <= t) & (t < self._ends)
+        hosts = self._hosts
+        return [hosts[i] for i in np.flatnonzero(mask)]
+
+    def count_alive(self, t):
+        self._ensure()
+        return int(((self._births <= t) & (t < self._ends)).sum())
+
+
+def _monlist_end(host):
+    end = np.inf if host.death is None else host.death
+    if host.remediation_time is not None:
+        end = min(end, host.remediation_time)
+    return end
+
+
+def _version_end(host):
+    end = np.inf if host.death is None else host.death
+    if host.version_off_time is not None:
+        end = min(end, host.version_off_time)
+    return end
+
+
+def _exists_end(host):
+    return np.inf if host.death is None else host.death
+
+
 class HostPool:
     """The generated population, with time-sliced views over each pool."""
 
@@ -255,6 +319,9 @@ class HostPool:
         self.params = params
         self._monlist_hosts = [h for h in hosts if h.monlist_amplifier]
         self._version_hosts = [h for h in hosts if h.responds_version]
+        self._monlist_index = _LivenessIndex(self._monlist_hosts, _monlist_end)
+        self._version_index = _LivenessIndex(self._version_hosts, _version_end)
+        self._exists_index = _LivenessIndex(self.hosts, _exists_end)
 
     def __len__(self):
         return len(self.hosts)
@@ -268,17 +335,25 @@ class HostPool:
     def version_hosts(self):
         return self._version_hosts
 
+    def invalidate_liveness_index(self):
+        """Force index rebuilds after in-place edits to indexed hosts'
+        birth/death/remediation/version-off attributes.  Appending hosts
+        to the pool lists is detected automatically."""
+        self._monlist_index.invalidate()
+        self._version_index.invalidate()
+        self._exists_index.invalidate()
+
     def monlist_alive(self, t):
-        return [h for h in self._monlist_hosts if h.monlist_active(t)]
+        return self._monlist_index.alive(t)
 
     def version_alive(self, t):
-        return [h for h in self._version_hosts if h.version_active(t)]
+        return self._version_index.alive(t)
 
     def mega_hosts(self):
         return [h for h in self.hosts if h.is_mega]
 
     def host_count_alive(self, t):
-        return sum(1 for h in self.hosts if h.exists_at(t))
+        return self._exists_index.count_alive(t)
 
 
 def _sample_cluster_sizes(rng, total):

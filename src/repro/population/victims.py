@@ -74,28 +74,43 @@ _ARRIVAL_ANCHORS = [
 
 
 class VictimPool:
-    """The generated victim population with time-windowed sampling."""
+    """The generated victim population with time-windowed sampling.
+
+    Activity queries are index-driven: appearance/expiry times and
+    popularities live in NumPy arrays built once at construction, so the
+    per-attack ``sample_active`` call in the campaign generator is two
+    vectorized comparisons plus one weighted draw rather than a Python
+    scan of every victim.  Active lists preserve ``self.victims`` order,
+    matching the naive per-victim scan draw-for-draw.
+    """
 
     def __init__(self, victims, params):
         self.victims = victims
         self.params = params
-        self._order = sorted(range(len(victims)), key=lambda i: victims[i].appear_time)
+        self._appear = np.array([v.appear_time for v in victims], dtype=np.float64)
+        self._until = np.array([v.active_until for v in victims], dtype=np.float64)
+        self._popularity = np.array([v.popularity for v in victims], dtype=np.float64)
 
     def __len__(self):
         return len(self.victims)
 
+    def _active_indices(self, t):
+        return np.flatnonzero((self._appear <= t) & (t <= self._until))
+
     def active_at(self, t):
-        return [v for v in self.victims if v.active_at(t)]
+        victims = self.victims
+        return [victims[i] for i in self._active_indices(t)]
 
     def sample_active(self, rng, t, size):
         """Sample active victims at ``t``, weighted by popularity."""
-        active = self.active_at(t)
-        if not active:
+        active = self._active_indices(t)
+        if len(active) == 0:
             return []
-        weights = np.asarray([v.popularity for v in active])
+        weights = self._popularity[active]
         weights = weights / weights.sum()
         indices = rng.choice(len(active), size=min(size, len(active)), replace=True, p=weights)
-        return [active[int(i)] for i in indices]
+        victims = self.victims
+        return [victims[int(active[int(i)])] for i in indices]
 
 
 def _victim_as_ranking(rng, registry):

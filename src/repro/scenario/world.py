@@ -19,6 +19,7 @@ real data with the same schemas.
 """
 
 import math
+import time
 from dataclasses import dataclass, field
 
 from repro.attack.campaign import AttackCampaign, AttackSpec, CampaignParams
@@ -97,11 +98,32 @@ class PaperWorld:
     isp: object
     dns_pool: object
     local_amplifiers: dict = field(default_factory=dict)
+    #: Wall-clock seconds per build phase (see ``build``); purely
+    #: observational — never feeds back into the simulation.
+    build_timings: dict = field(default_factory=dict)
 
     # -- reporting -------------------------------------------------------------------
 
-    def summary(self):
-        """A text digest of the study's headline findings for this world."""
+    def timing_summary(self):
+        """Per-phase build timings as text lines (empty if not recorded)."""
+        if not self.build_timings:
+            return []
+        total = self.build_timings.get("total", sum(self.build_timings.values()))
+        lines = [f"Build: {total:.2f}s wall clock"]
+        for phase, seconds in self.build_timings.items():
+            if phase == "total":
+                continue
+            share = seconds / total if total else 0.0
+            lines.append(f"  {phase:<10} {seconds:8.2f}s  {100 * share:5.1f}%")
+        return lines
+
+    def summary(self, include_timings=False):
+        """A text digest of the study's headline findings for this world.
+
+        ``include_timings`` appends per-phase build wall-clock lines; it is
+        off by default so the summary stays a pure function of (seed,
+        params) — golden tests depend on that.
+        """
         from repro.analysis import (
             amplifier_counts,
             analyze_dataset,
@@ -154,6 +176,8 @@ class PaperWorld:
         )
         last = format_sim(self.onp.monlist_samples[-1].t)
         lines.append(f"Window: {format_sim(self.onp.monlist_samples[0].t)} .. {last} (15 weekly samples)")
+        if include_timings:
+            lines.extend(self.timing_summary())
         return "\n".join(lines)
 
     # -- construction --------------------------------------------------------------
@@ -163,25 +187,37 @@ class PaperWorld:
         """Run the whole study.  Deterministic in (seed, params)."""
         params = params or WorldParams(seed=seed, scale=scale)
         rng = RngStream(params.seed, "paper-world")
+        timings = {}
+        build_start = time.perf_counter()
+        phase_start = build_start
 
         def say(message):
             if not quiet:
                 print(f"[paper-world] {message}")
+
+        def mark(phase):
+            nonlocal phase_start
+            now = time.perf_counter()
+            timings[phase] = timings.get(phase, 0.0) + (now - phase_start)
+            phase_start = now
 
         say(f"building registry ({params.resolved_n_ases()} ASes)")
         registry = ASRegistry(rng.child("asn"), n_ases=params.resolved_n_ases())
         table = RoutedBlockTable(registry)
         pbl = PolicyBlockList(registry)
         geo = GeoView(table)
+        mark("registry")
 
         say("building host population")
         hosts = build_host_pool(rng.child("hosts"), registry, pbl, PoolParams(scale=params.scale))
         local = _plant_local_amplifiers(rng.child("local-amps"), registry, hosts)
+        mark("hosts")
 
         say("building victim population")
         victims = build_victim_pool(
             rng.child("victims"), registry, pbl, VictimParams(scale=params.scale)
         )
+        mark("victims")
 
         say("generating scanner ecosystem")
         ecosystem = ScannerEcosystem(
@@ -191,6 +227,7 @@ class PaperWorld:
             end=params.observation_end,
         )
         sweeps = ecosystem.all_sweeps()
+        mark("scanners")
 
         say("generating attack campaign")
         campaign = AttackCampaign(
@@ -199,32 +236,42 @@ class PaperWorld:
         attacks = campaign.generate()
         attacks.extend(_scripted_frgp_event(rng.child("frgp-event"), registry, hosts, victims))
         attacks.sort(key=lambda a: a.start)
+        mark("campaign")
 
         say("observing darknets")
         darknet = Ipv4Darknet(rng.child("telescope"))
         darknet.observe_all(sweeps)
         darknet_v6 = Ipv6Darknet(rng.child("telescope-v6"))
         darknet_v6.simulate_window(params.observation_start, params.observation_end)
+        mark("darknet")
 
         say("running ONP probe campaign")
         state = AmplifierStateManager(rng.child("state"), RESEARCH_SCANNERS)
         state.register_malicious_activity(sweeps)
-        for attack in attacks:
-            state.register_pulses(attack.pulses())
+        # One bulk registration for the whole campaign: appends are O(1) per
+        # pulse and each amplifier's list is sorted once, lazily, at first
+        # sync (registering per-attack used to re-sort every list per call).
+        state.register_pulses(pulse for attack in attacks for pulse in attack.pulses())
+        mark("state")
         prober = OnpProber(state)
         onp = prober.run_all(hosts, rng.child("onp"))
+        mark("onp")
 
         say("collecting global traffic statistics")
         arbor = ArborCollector(rng.child("arbor"), scale=params.scale).collect(
             attacks, date_to_sim(2013, 11, 1), params.observation_end
         )
+        mark("arbor")
 
         say("measuring at regional ISPs")
         isp = IspMeasurement(registry)
         isp.observe_attacks(attacks)
         isp.observe_sweeps(sweeps, scanner_scale=ecosystem.scanner_scale)
+        mark("isp")
 
         dns_pool = DnsResolverPool(rng.child("dns"), scale=params.scale)
+        mark("dns")
+        timings["total"] = time.perf_counter() - build_start
 
         say("done")
         return cls(
@@ -245,6 +292,7 @@ class PaperWorld:
             isp=isp,
             dns_pool=dns_pool,
             local_amplifiers=local,
+            build_timings=timings,
         )
 
 

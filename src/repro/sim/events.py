@@ -5,7 +5,7 @@ to these records rather than to raw callbacks, which keeps vantage points
 decoupled from the traffic generators.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["ScanSweep", "AttackPulse", "ClientPoll", "ProbeSent"]
 
@@ -51,14 +51,16 @@ class AttackPulse:
     query_rate: float
     mode: int  # 7 for monlist-based attacks, 6 for version-based
     spoofer_ttl: int
+    # Derived values, precomputed once: pulse sorting/windowing in the
+    # amplifier-state manager touches `end` hundreds of millions of times
+    # per world build, so these must be plain attribute loads, not
+    # recomputed properties.
+    end: float = field(init=False, repr=False, compare=False)
+    query_count: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def end(self):
-        return self.start + self.duration
-
-    @property
-    def query_count(self):
-        return max(1, int(self.query_rate * self.duration))
+    def __post_init__(self):
+        object.__setattr__(self, "end", self.start + self.duration)
+        object.__setattr__(self, "query_count", max(1, int(self.query_rate * self.duration)))
 
 
 @dataclass(frozen=True)

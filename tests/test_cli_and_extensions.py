@@ -157,18 +157,45 @@ def test_world_pickle_round_trip(world, tmp_path):
 
 
 def test_build_or_load_world_uses_cache(world, tmp_path):
+    from repro.scenario.cache import save_world
+
+    path = tmp_path / "cache.pkl"
+    save_world(world, str(path))
+
+    class Args:
+        cache = str(path)
+        scale = world.params.scale
+        preset = "tiny"
+        seed = world.params.seed
+        quiet = True
+
+    loaded = build_or_load_world(Args())
+    # The cached world matches the requested params, so it is served as-is.
+    assert loaded.params.seed == world.params.seed
+    assert loaded.params.scale == world.params.scale
+    assert loaded.summary() == world.summary()
+
+
+def test_build_or_load_world_rebuilds_stale_cache(world, tmp_path, capsys):
+    """A cache for a *different* world (here: a legacy bare pickle carrying
+    no provenance) must not be served; the requested world is rebuilt and
+    the stale entry overwritten."""
     path = tmp_path / "cache.pkl"
     with open(path, "wb") as handle:
         pickle.dump(world, handle)
 
     class Args:
         cache = str(path)
-        scale = None
+        scale = 0.0002
         preset = "tiny"
         seed = 1
         quiet = True
 
     loaded = build_or_load_world(Args())
-    # The cached (scale 0.001, seed 42) world is returned, not a rebuild.
-    assert loaded.params.seed == world.params.seed
-    assert loaded.params.scale == world.params.scale
+    assert loaded.params.seed == 1
+    assert loaded.params.scale == 0.0002
+    assert "stale world cache" in capsys.readouterr().err
+    # The rebuilt world replaced the stale entry with a validated one.
+    loaded_again = build_or_load_world(Args())
+    assert loaded_again.params.seed == 1
+    assert loaded_again.summary() == loaded.summary()

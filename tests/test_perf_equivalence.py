@@ -1,0 +1,233 @@
+"""Equivalence guards for the world-construction fast paths.
+
+The optimizations (bulk pulse registration with lazy per-amplifier
+sorting, NumPy liveness indexes, memoized sweep schedules, the
+persistent world cache) must be invisible: the world remains a pure
+function of ``(seed, WorldParams)``.  These tests pin that down three
+ways — a byte-for-byte golden summary, unit-level ordering/equivalence
+checks on the pulse registration path, and validation of the cache
+envelope's staleness rejection.
+"""
+
+import pytest
+
+from repro.attack.scanner import RESEARCH_SCANNERS
+from repro.measurement import AmplifierStateManager
+from repro.scenario import PaperWorld, WorldParams
+from repro.scenario.cache import CacheMiss, load_world, save_world
+from repro.sim.events import AttackPulse
+from repro.util import RngStream, date_to_sim
+
+GOLDEN_SEED = 7
+GOLDEN_SCALE = 0.0005
+
+#: Recorded from the pre-optimization (eager, linear-scan) implementation.
+#: Any drift here means an "optimization" changed the simulated world.
+GOLDEN_SUMMARY = """\
+PaperWorld(seed=7, scale=0.0005): 4430 host records, 500 victims, 988 attacks, 17551 scan sweeps
+NTP traffic fraction: 9.00e-06 (Nov) -> 4.49e-01 (peak 2014-02-11; paper: 1e-5 -> 1e-2 on 2014-02-11)
+Amplifier pool: 717 -> 95 (87% remediated; paper: 92%)
+Unique amplifier IPs: 957 (first sample 75%; paper: ~60%)
+BAF: monlist median 7.8x / Q3 14.6x / max 1.6e+09x; version 4.0/4.5/5.0 (paper: 4.3/15/1e9; 3.5/4.6/6.9)
+Victims observed: 149 (~298,000 full-scale-equivalent; paper: 437K), 3.75e+11 packets, undersampling 6.0x (paper: 3.8x)
+Window: 2014-01-10 .. 2014-04-18 (15 weekly samples)"""
+
+
+@pytest.fixture(scope="module")
+def golden_world():
+    return PaperWorld.build(seed=GOLDEN_SEED, scale=GOLDEN_SCALE, quiet=True)
+
+
+def test_golden_summary_unchanged(golden_world):
+    assert golden_world.summary() == GOLDEN_SUMMARY
+
+
+def test_summary_excludes_timings_by_default(golden_world):
+    """Timings are wall-clock (non-deterministic) and must stay out of the
+    default summary so it remains a pure function of (seed, params)."""
+    assert golden_world.build_timings  # recorded by build()
+    assert "Build:" not in golden_world.summary()
+    assert any("Build:" in line for line in golden_world.timing_summary())
+    assert "Build:" in golden_world.summary(include_timings=True)
+
+
+# -- bulk pulse registration ---------------------------------------------------
+
+
+def _pulse(amplifier_ip, start, duration=10.0, victim_ip=0xBEEF):
+    return AttackPulse(
+        start=start,
+        duration=duration,
+        victim_ip=victim_ip,
+        victim_port=80,
+        amplifier_ip=amplifier_ip,
+        query_rate=10.0,
+        mode=7,
+        spoofer_ttl=109,
+    )
+
+
+def make_manager():
+    return AmplifierStateManager(RngStream(12, "mgr"), RESEARCH_SCANNERS)
+
+
+def test_bulk_registration_sorted_by_end():
+    """Pulses registered out of order, across several calls, come back from
+    the lazy sort ordered by end time with an aligned end-time index."""
+    manager = make_manager()
+    t0 = date_to_sim(2014, 1, 10)
+    # Same start, different durations => ordering by end != ordering by start.
+    manager.register_pulses([_pulse(1, t0 + 500, duration=5.0)])
+    manager.register_pulses(
+        [
+            _pulse(1, t0 + 100, duration=900.0),
+            _pulse(1, t0 + 300, duration=1.0),
+            _pulse(2, t0 + 50, duration=2.0),
+        ]
+    )
+    manager.register_pulses([_pulse(1, t0 + 200, duration=1.0)])
+    plist, ends = manager._sorted_pulses(1)
+    assert [p.end for p in plist] == sorted(p.end for p in plist)
+    assert ends == [p.end for p in plist]
+    assert len(plist) == 4
+    other, other_ends = manager._sorted_pulses(2)
+    assert len(other) == 1 and other_ends == [other[0].end]
+    assert manager._sorted_pulses(3) == (None, None)
+
+
+def test_registration_after_sort_resorts():
+    """A registration round after a sync dirties the list again."""
+    manager = make_manager()
+    t0 = date_to_sim(2014, 1, 10)
+    manager.register_pulses([_pulse(1, t0 + 100, duration=50.0)])
+    manager._sorted_pulses(1)
+    manager.register_pulses([_pulse(1, t0, duration=1.0)])
+    plist, ends = manager._sorted_pulses(1)
+    assert ends == sorted(ends)
+    assert plist[0].end == t0 + 1.0
+
+
+def test_bulk_sync_matches_naive_per_attack_registration(host):
+    """One bulk ``register_pulses`` call is observably identical to the old
+    eager per-attack loop: same monitor tables after sync."""
+    t0 = date_to_sim(2014, 1, 10)
+    pulses = [
+        _pulse(host.ip, t0 + 300, duration=60.0, victim_ip=0xA1),
+        _pulse(host.ip, t0 + 100, duration=5.0, victim_ip=0xA2),
+        _pulse(host.ip, t0 + 200, duration=700.0, victim_ip=0xA3),
+        _pulse(host.ip, t0 + 400, duration=1.0, victim_ip=0xA1),
+    ]
+    t1 = t0 + 3600
+
+    bulk = make_manager()
+    bulk.register_pulses(pulses)
+    bulk_entries = bulk.sync(host, t1).table.entries_mru(t1)
+
+    naive = make_manager()
+    for pulse in pulses:  # the old call shape: once per attack
+        naive.register_pulses([pulse])
+    naive_entries = naive.sync(host, t1).table.entries_mru(t1)
+
+    assert bulk_entries == naive_entries
+    assert any(e.addr == 0xA1 for e in bulk_entries)
+
+
+@pytest.fixture(scope="module")
+def host():
+    from repro.net import ASRegistry, PolicyBlockList
+    from repro.ntp.constants import IMPL_XNTPD
+    from repro.population import PoolParams, build_host_pool
+
+    rng = RngStream(11, "perf-test")
+    registry = ASRegistry(rng.child("asn"), n_ases=300)
+    pbl = PolicyBlockList(registry)
+    pool = build_host_pool(rng.child("hosts"), registry, pbl, PoolParams(scale=0.0002))
+    for candidate in pool.monlist_hosts:
+        if (
+            candidate.answers_implementation(IMPL_XNTPD)
+            and candidate.restart_interval is None
+            and candidate.birth == 0.0
+            and not candidate.is_mega
+        ):
+            return candidate
+    raise AssertionError("no suitable host in pool")
+
+
+# -- liveness indexes ----------------------------------------------------------
+
+
+def test_liveness_index_matches_naive_scan(golden_world):
+    """The vectorized alive-set equals a literal re-scan of host records,
+    in the same (registration) order."""
+    from repro.population.amplifiers import _monlist_end, _version_end
+
+    pool = golden_world.hosts
+    for t in (date_to_sim(2014, 1, 10), date_to_sim(2014, 2, 1), date_to_sim(2014, 4, 18)):
+        naive_monlist = [h for h in pool.monlist_hosts if h.birth <= t < _monlist_end(h)]
+        naive_version = [h for h in pool.version_hosts if h.birth <= t < _version_end(h)]
+        assert pool.monlist_alive(t) == naive_monlist
+        assert pool.version_alive(t) == naive_version
+        assert naive_monlist  # the probe date is inside the observed window
+
+
+def test_victim_index_matches_naive_scan(golden_world):
+    t = date_to_sim(2014, 2, 1)
+    naive = [v for v in golden_world.victims.victims if v.active_at(t)]
+    assert golden_world.victims.active_at(t) == naive
+    assert naive
+
+
+# -- persistent cache validation -----------------------------------------------
+
+
+def test_cache_round_trip(tmp_path, golden_world):
+    path = tmp_path / "world.pkl"
+    save_world(golden_world, str(path))
+    loaded = load_world(str(path), golden_world.params)
+    assert loaded.summary() == golden_world.summary()
+
+
+def test_cache_rejects_stale_params(tmp_path, golden_world):
+    path = tmp_path / "world.pkl"
+    save_world(golden_world, str(path))
+    with pytest.raises(CacheMiss):
+        load_world(str(path), WorldParams(seed=GOLDEN_SEED + 1, scale=GOLDEN_SCALE))
+    with pytest.raises(CacheMiss):
+        load_world(str(path), WorldParams(seed=GOLDEN_SEED, scale=GOLDEN_SCALE * 2))
+
+
+def test_cache_rejects_missing_and_corrupt(tmp_path, golden_world):
+    params = golden_world.params
+    with pytest.raises(CacheMiss):
+        load_world(str(tmp_path / "absent.pkl"), params)
+    # Two flavors of garbage: bytes that fail as an opcode stream outright,
+    # and bytes that decode a few opcodes first then blow up deeper inside
+    # pickle (``b"garbage\n"`` raises ValueError, not UnpicklingError).
+    for junk in (b"not a pickle", b"garbage\n"):
+        corrupt = tmp_path / "corrupt.pkl"
+        corrupt.write_bytes(junk)
+        with pytest.raises(CacheMiss):
+            load_world(str(corrupt), params)
+
+
+def test_cache_rejects_other_package_version(tmp_path, golden_world, monkeypatch):
+    """A cache written by a different repro version must miss, not load."""
+    import repro.scenario.cache as cache_mod
+
+    path = tmp_path / "world.pkl"
+    monkeypatch.setattr(cache_mod, "_package_version", lambda: "0.0-other")
+    save_world(golden_world, str(path))
+    monkeypatch.undo()
+    with pytest.raises(CacheMiss):
+        load_world(str(path), golden_world.params)
+
+
+def test_cache_key_changes_with_params_and_version(monkeypatch):
+    import repro.scenario.cache as cache_mod
+
+    a = cache_mod.cache_key(WorldParams(seed=1, scale=0.001))
+    b = cache_mod.cache_key(WorldParams(seed=2, scale=0.001))
+    c = cache_mod.cache_key(WorldParams(seed=1, scale=0.002))
+    assert len({a, b, c}) == 3
+    monkeypatch.setattr(cache_mod, "_package_version", lambda: "0.0-other")
+    assert cache_mod.cache_key(WorldParams(seed=1, scale=0.001)) != a
