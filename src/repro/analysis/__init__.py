@@ -26,10 +26,13 @@ from repro.analysis.local import (
 )
 from repro.analysis.monlist_parse import (
     ParsedSample,
+    ParseStats,
     ReconstructedTable,
     parse_sample,
     reconstruct_table,
+    reconstruct_table_lenient,
 )
+from repro.analysis.quality import QualityReport, ReconciliationCheck, quality_report
 from repro.analysis.remediation import (
     AmplifierCountRow,
     amplifier_counts,
@@ -77,9 +80,14 @@ __all__ = [
     "top_victim_table",
     "ttl_forensics",
     "ParsedSample",
+    "ParseStats",
     "ReconstructedTable",
     "parse_sample",
     "reconstruct_table",
+    "reconstruct_table_lenient",
+    "QualityReport",
+    "ReconciliationCheck",
+    "quality_report",
     "AmplifierCountRow",
     "amplifier_counts",
     "continent_remediation",

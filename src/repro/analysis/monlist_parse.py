@@ -12,9 +12,16 @@ from dataclasses import dataclass, field
 
 from repro.net.framing import on_wire_bytes
 from repro.ntp.constants import MON_ENTRY_V1_SIZE, MON_ENTRY_V2_SIZE
-from repro.ntp.wire import WireError, decode_mode7
+from repro.ntp.wire import WireError, decode_mode7, decode_mode7_stream
 
-__all__ = ["ReconstructedTable", "reconstruct_table", "ParsedSample", "parse_sample"]
+__all__ = [
+    "ReconstructedTable",
+    "reconstruct_table",
+    "reconstruct_table_lenient",
+    "ParseStats",
+    "ParsedSample",
+    "parse_sample",
+]
 
 
 @dataclass
@@ -87,11 +94,161 @@ def reconstruct_table(capture):
 
 
 @dataclass
+class ParseStats:
+    """Per-sample accounting of everything the parse layer discarded.
+
+    A real pipeline loses data in ways a bare ``continue`` hides; every
+    discard here is counted so a systematically unparseable amplifier is
+    visible in the quality report instead of silently vanishing from the
+    figures.
+    """
+
+    captures_total: int = 0
+    #: Captures reconstructed with nothing discarded.
+    captures_ok: int = 0
+    #: Captures reconstructed only by dropping some packets/entries.
+    captures_salvaged: int = 0
+    #: Captures with no salvageable response packets at all.
+    captures_failed: int = 0
+    #: Packets that did not decode as mode 7 (corruption).
+    packets_undecodable: int = 0
+    #: Decoded packets rejected by validation (non-response, mixed
+    #: implementation, unsupported item size).
+    packets_invalid: int = 0
+    #: Repeated fragments (same sequence number; first copy kept).
+    packets_duplicate: int = 0
+    #: Fragments after a sequence gap, unusable for in-order reassembly.
+    packets_out_of_sequence: int = 0
+    #: Monitor entries recovered into tables.
+    entries_recovered: int = 0
+    #: Monitor entries discarded along with their rejected fragments.
+    entries_discarded: int = 0
+
+    @property
+    def captures_parsed(self):
+        return self.captures_ok + self.captures_salvaged
+
+    @property
+    def degraded(self):
+        """True when anything at all was discarded."""
+        return (
+            self.captures_salvaged
+            or self.captures_failed
+            or self.packets_undecodable
+            or self.packets_invalid
+            or self.packets_duplicate
+            or self.packets_out_of_sequence
+            or self.entries_discarded
+        ) != 0
+
+    def merge(self, other):
+        """Accumulate another :class:`ParseStats` into this one."""
+        for stat_field in self.__dataclass_fields__:
+            setattr(self, stat_field, getattr(self, stat_field) + getattr(other, stat_field))
+        return self
+
+    def as_dict(self):
+        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+
+
+def reconstruct_table_lenient(capture, stats=None):
+    """Best-effort reconstruction of one capture.
+
+    Salvages what the strict path would reject wholesale: undecodable and
+    invalid packets are dropped, duplicate fragments are deduplicated
+    (first copy wins), and the longest in-order sequence run from the
+    lowest sequence number is reassembled — fragments after a sequence gap
+    cannot be placed and are discarded.  Every discard is counted in
+    ``stats``.  Returns None when nothing is salvageable.
+
+    On a well-formed capture this is byte-identical to
+    :func:`reconstruct_table` (same entries, same sizes) with zero
+    discards — the clean world does not change.
+    """
+    if stats is None:
+        stats = ParseStats()
+    stats.captures_total += 1
+    decoded, n_undecodable = decode_mode7_stream(capture.packets)
+    stats.packets_undecodable += n_undecodable
+    degraded = n_undecodable > 0
+
+    valid = []
+    expected_impl = None
+    for pkt in decoded:
+        if not pkt.response or pkt.item_size not in (0, MON_ENTRY_V1_SIZE, MON_ENTRY_V2_SIZE):
+            stats.packets_invalid += 1
+            stats.entries_discarded += len(pkt.items)
+            degraded = True
+            continue
+        if expected_impl is None:
+            expected_impl = pkt.implementation
+        elif pkt.implementation != expected_impl:
+            stats.packets_invalid += 1
+            stats.entries_discarded += len(pkt.items)
+            degraded = True
+            continue
+        valid.append(pkt)
+
+    by_sequence = {}
+    for pkt in valid:  # arrival order; first copy of a sequence wins
+        if pkt.sequence in by_sequence:
+            stats.packets_duplicate += 1
+            degraded = True
+            continue
+        by_sequence[pkt.sequence] = pkt
+    if not by_sequence:
+        stats.captures_failed += 1
+        return None
+
+    # Reassemble the contiguous run from the lowest sequence; a fragment
+    # beyond a gap has no defensible position in the table and is dropped
+    # (never interpolated, never fabricated).
+    sequences = sorted(by_sequence)
+    run = [sequences[0]]
+    for seq in sequences[1:]:
+        if seq == run[-1] + 1:
+            run.append(seq)
+        else:
+            break
+    for seq in sequences[len(run):]:
+        stats.packets_out_of_sequence += 1
+        stats.entries_discarded += len(by_sequence[seq].items)
+        degraded = True
+
+    entries = []
+    for seq in run:
+        entries.extend(by_sequence[seq].items)
+    stats.entries_recovered += len(entries)
+    if degraded:
+        stats.captures_salvaged += 1
+    else:
+        stats.captures_ok += 1
+    payload = sum(len(p) for p in capture.packets)
+    wire = sum(on_wire_bytes(len(p)) for p in capture.packets)
+    return ReconstructedTable(
+        amplifier_ip=capture.target_ip,
+        t=capture.t,
+        entries=tuple(entries),
+        entry_size=by_sequence[run[0]].item_size,
+        n_packets_once=len(capture.packets),
+        n_repeats=capture.n_repeats,
+        payload_bytes_once=payload,
+        on_wire_bytes_once=wire,
+    )
+
+
+@dataclass
 class ParsedSample:
     """All reconstructed tables of one weekly ONP monlist sample."""
 
     t: float
     tables: list = field(default_factory=list)
+    #: What the parse layer discarded for this sample.
+    stats: ParseStats = field(default_factory=ParseStats)
+    #: Mirrors of the apparatus-level sample flags (see
+    #: :class:`~repro.measurement.onp.OnpSample`).
+    outage: bool = False
+    coverage: float = 1.0
 
     def __len__(self):
         return len(self.tables)
@@ -101,12 +258,20 @@ class ParsedSample:
 
 
 def parse_sample(sample):
-    """Reconstruct every capture of an ONP sample (skipping any that fail
-    to parse, as a real pipeline would; our captures should all parse)."""
-    parsed = ParsedSample(t=sample.t)
+    """Reconstruct every capture of an ONP sample, best-effort.
+
+    Unparseable material is salvaged where possible and *accounted* in
+    ``parsed.stats`` — never silently skipped, so a systematically
+    unparseable amplifier shows up in the quality report rather than
+    vanishing from every downstream figure without a trace.
+    """
+    parsed = ParsedSample(
+        t=sample.t,
+        outage=getattr(sample, "outage", False),
+        coverage=getattr(sample, "coverage", 1.0),
+    )
     for capture in sample.captures:
-        try:
-            parsed.tables.append(reconstruct_table(capture))
-        except WireError:
-            continue
+        table = reconstruct_table_lenient(capture, parsed.stats)
+        if table is not None:
+            parsed.tables.append(table)
     return parsed

@@ -33,6 +33,9 @@ class AmplifierCountRow:
     end_hosts: int
     end_host_fraction: float
     ips_per_block: float
+    #: True when the week's sweep never ran — the zeros in this row are an
+    #: apparatus gap, not a remediated-to-nothing pool.
+    outage: bool = False
 
 
 def amplifier_counts(parsed_samples, table, pbl):
@@ -52,6 +55,7 @@ def amplifier_counts(parsed_samples, table, pbl):
                 end_hosts=end_hosts,
                 end_host_fraction=end_hosts / agg.ips if agg.ips else 0.0,
                 ips_per_block=agg.ips_per_block,
+                outage=getattr(parsed, "outage", False),
             )
         )
     return rows

@@ -8,17 +8,29 @@ from repro.util.simtime import DAY, format_sim
 __all__ = ["traffic_fractions", "peak_traffic_date", "attack_fraction_rows", "daily_attack_counts"]
 
 
-def traffic_fractions(arbor_dataset):
-    """Figure 1: [(date string, ntp fraction, dns fraction)] per day."""
-    return [
-        (format_sim(d.day * DAY), d.ntp_fraction, d.dns_fraction)
+def traffic_fractions(arbor_dataset, include_gaps=False):
+    """Figure 1: [(date string, ntp fraction, dns fraction)] per day.
+
+    With ``include_gaps``, days the collector was down appear in place as
+    ``(date, None, None)`` markers — an explicit "no data" the renderers
+    show as a gap, never a silently interpolated value.
+    """
+    rows = [
+        (d.day, format_sim(d.day * DAY), d.ntp_fraction, d.dns_fraction)
         for d in arbor_dataset.daily
     ]
+    if include_gaps:
+        for day in getattr(arbor_dataset, "missing_days", ()) or ():
+            rows.append((day, format_sim(day * DAY), None, None))
+        rows.sort(key=lambda r: r[0])
+    return [(date, ntp, dns) for _, date, ntp, dns in rows]
 
 
 def peak_traffic_date(arbor_dataset):
     """The date NTP traffic peaked (paper: February 11th)."""
     peak = arbor_dataset.peak_ntp_day()
+    if peak is None:
+        return "(no data)"
     return format_sim(peak.day * DAY)
 
 

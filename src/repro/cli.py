@@ -6,12 +6,15 @@ Usage::
     python -m repro figure F1 [...]      # F1..F16
     python -m repro table  T1 [...]      # T1..T6
     python -m repro validate             # §4.4 cross-dataset validation
+    python -m repro quality              # per-dataset loss/outage accounting
     python -m repro bench-build          # time a build, write BENCH_build.json
     python -m repro list                 # available artifacts and presets
 
 A built world can be cached (``--cache world.pkl``) so successive artifact
 renders skip the simulation; the cache is validated against the requested
-(seed, scale) and the package version, and silently rebuilt when stale.
+(seed, scale, faults) and the package version, and silently rebuilt when
+stale.  ``--faults {clean,paper,hostile}`` builds the world through an
+imperfect measurement apparatus (see :mod:`repro.faults`).
 """
 
 import argparse
@@ -19,15 +22,21 @@ import json
 import os
 import sys
 
+from repro.faults import FAULT_PROFILES, resolve_fault_profile
 from repro.scenario import PaperWorld, WorldParams
 from repro.scenario.presets import PRESETS, resolve_preset
 
-__all__ = ["main", "build_or_load_world", "render_artifact", "ARTIFACTS"]
+__all__ = ["main", "build_or_load_world", "render_artifact", "ARTIFACTS", "CliError"]
+
+
+class CliError(Exception):
+    """A user-input problem worth one stderr line and exit code 2."""
 
 
 def _world_params(args):
     scale = args.scale if args.scale is not None else resolve_preset(args.preset).scale
-    return WorldParams(seed=args.seed, scale=scale)
+    faults = resolve_fault_profile(getattr(args, "faults", None))
+    return WorldParams(seed=args.seed, scale=scale, faults=faults)
 
 
 def build_or_load_world(args):
@@ -41,6 +50,8 @@ def build_or_load_world(args):
     from repro.scenario.cache import CacheMiss, load_world, save_world
 
     params = _world_params(args)
+    if args.cache and os.path.isdir(args.cache):
+        raise CliError(f"--cache {args.cache!r} is a directory, not a cache file")
     if args.cache:
         try:
             world = load_world(args.cache, params)
@@ -52,9 +63,13 @@ def build_or_load_world(args):
                 print(f"(stale world cache: {miss}; rebuilding)", file=sys.stderr)
     world = PaperWorld.build(params=params, quiet=args.quiet)
     if args.cache:
-        save_world(world, args.cache)
-        if not args.quiet:
-            print(f"(cached world to {args.cache})", file=sys.stderr)
+        try:
+            save_world(world, args.cache)
+            if not args.quiet:
+                print(f"(cached world to {args.cache})", file=sys.stderr)
+        except OSError as exc:
+            # An unwritable cache only loses the reuse, not the render.
+            print(f"warning: could not write world cache {args.cache}: {exc}", file=sys.stderr)
     return world
 
 
@@ -80,7 +95,7 @@ def _fig1(world):
     from repro.analysis import traffic_fractions
     from repro.reporting.figures import ascii_chart
 
-    series = traffic_fractions(world.arbor)
+    series = traffic_fractions(world.arbor, include_gaps=True)
     ntp = [(d, f) for d, f, _ in series]
     return ascii_chart(ntp, log=True, title="Fig 1: NTP fraction of Internet traffic (log y)")
 
@@ -103,7 +118,8 @@ def _fig3(world):
     from repro.util import format_sim
 
     rows = amplifier_counts(_parsed(world), world.table, world.pbl)
-    series = [(format_sim(r.t), r.ips) for r in rows]
+    # An outage week is a gap (None), not a zero-amplifier data point.
+    series = [(format_sim(r.t), None if r.outage else r.ips) for r in rows]
     return ascii_chart(series, log=True, title="Fig 3: monlist amplifier IPs (log y)", value_fmt="{:.0f}")
 
 
@@ -115,11 +131,17 @@ def _fig4(world):
     parsed = _parsed(world)
     rows = []
     for p in parsed:
+        if not p.tables:
+            rows.append([format_sim(p.t), "-", "-", "-", "- (no data)"])
+            continue
         b = sample_baf_boxplot(p)
         rows.append([format_sim(p.t), f"{b.q1:.1f}", f"{b.median:.1f}", f"{b.q3:.1f}", f"{b.maximum:.1e}"])
     out = [render_table(["Sample", "Q1", "Median", "Q3", "Max"], rows, title="Fig 4b: monlist BAF")]
     vrows = []
     for s in world.onp.version_samples:
+        if not s.captures:
+            vrows.append([format_sim(s.t), "-", "-", "-", "- (no data)"])
+            continue
         b = version_sample_baf_boxplot(s)
         vrows.append([format_sim(s.t), f"{b.q1:.2f}", f"{b.median:.2f}", f"{b.q3:.2f}", f"{b.maximum:.1e}"])
     out.append(render_table(["Sample", "Q1", "Median", "Q3", "Max"], vrows, title="Fig 4c: version BAF"))
@@ -350,16 +372,23 @@ def _table2(world):
 
 
 def _table3(world):
-    from repro.analysis import reconstruct_table
+    from repro.analysis import ParseStats, reconstruct_table_lenient
     from repro.attack import ONP_PROBER_IP
     from repro.reporting import render_monlist_table
 
     sample = world.onp.monlist_samples[min(6, len(world.onp.monlist_samples) - 1)]
+    stats = ParseStats()
     for capture in sample.captures:
-        table = reconstruct_table(capture)
+        table = reconstruct_table_lenient(capture, stats)
+        if table is None:
+            continue
         if table.entries and table.entries[0].addr == ONP_PROBER_IP and len(table.entries) >= 4:
             return render_monlist_table(table.entries[:8], title="Table 3: an amplifier's monlist table")
-    return "(no probe-topped table found)"
+    return (
+        f"(no probe-topped table found: scanned {stats.captures_total} captures "
+        f"of sample {sample.date} — {stats.captures_parsed} parsed, "
+        f"{stats.captures_failed} unparseable)"
+    )
 
 
 def _table4(world):
@@ -494,10 +523,24 @@ def render_artifact(world, artifact_id):
 # ---------------------------------------------------------------------------
 
 
+def _quality(world):
+    from repro.analysis import quality_report
+
+    report = quality_report(world)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _add_world_args(parser):
     parser.add_argument("--seed", type=int, default=2014)
     parser.add_argument("--scale", type=float, default=None, help="overrides --preset")
     parser.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    parser.add_argument(
+        "--faults",
+        default="clean",
+        choices=sorted(FAULT_PROFILES),
+        help="measurement-apparatus fault profile (default: clean)",
+    )
     parser.add_argument("--cache", default=None, help="pickle path to cache/reuse the world")
     parser.add_argument("--quiet", action="store_true", default=False)
 
@@ -537,6 +580,11 @@ def main(argv=None):
     p_validate = subparsers.add_parser("validate", help="§4.4 cross-dataset validation")
     _add_world_args(p_validate)
 
+    p_quality = subparsers.add_parser(
+        "quality", help="per-dataset loss/outage/parse-failure accounting"
+    )
+    _add_world_args(p_quality)
+
     subparsers.add_parser("list", help="list artifacts and presets")
 
     args = parser.parse_args(argv)
@@ -553,7 +601,22 @@ def main(argv=None):
     if args.command == "bench-build":
         return _bench_build(args)
 
-    world = build_or_load_world(args)
+    if args.command in ("figure", "table"):
+        # Validate ids before spending minutes building a world.
+        unknown = [i for i in args.ids if i.upper() not in ARTIFACTS]
+        if unknown:
+            print(
+                f"error: unknown artifact id(s) {', '.join(map(repr, unknown))}; "
+                f"choose from {', '.join(sorted(ARTIFACTS))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        world = build_or_load_world(args)
+    except CliError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.command == "summary":
         print(world.summary(include_timings=args.timings))
     elif args.command in ("figure", "table"):
@@ -562,6 +625,8 @@ def main(argv=None):
             print()
     elif args.command == "validate":
         print(_validate(world))
+    elif args.command == "quality":
+        return _quality(world)
     return 0
 
 

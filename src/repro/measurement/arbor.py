@@ -92,12 +92,17 @@ class MonthlyAttackStats:
 class ArborDataset:
     daily: list = field(default_factory=list)
     monthly_attacks: dict = field(default_factory=dict)
+    #: Day indexes inside the collection window with no daily record
+    #: (collector outages); empty for a clean apparatus.
+    missing_days: list = field(default_factory=list)
 
     def traffic_series(self):
         """[(day, ntp fraction, dns fraction)] for Figure 1."""
         return [(d.day, d.ntp_fraction, d.dns_fraction) for d in self.daily]
 
     def peak_ntp_day(self):
+        if not self.daily:
+            return None
         return max(self.daily, key=lambda d: d.ntp_bps)
 
 
@@ -123,6 +128,7 @@ class ArborCollector:
         ntp_baseline_fraction=0.9e-5,
         dns_fraction=0.0015,
         visibility_threshold_bps=1.0e9,
+        faults=None,
     ):
         self._rng = rng.child("arbor")
         self._scale = scale
@@ -130,6 +136,9 @@ class ArborCollector:
         self._ntp_baseline = ntp_baseline_fraction
         self._dns_fraction = dns_fraction
         self._threshold = visibility_threshold_bps
+        #: Optional :class:`~repro.faults.FaultInjector`; missing-day draws
+        #: come from the injector's streams, never ``self._rng``.
+        self._faults = faults
 
     # -- traffic ------------------------------------------------------------------
 
@@ -164,6 +173,11 @@ class ArborCollector:
         day = day_index(start)
         last_day = day_index(end - 1)
         while day <= last_day:
+            if self._faults is not None and self._faults.arbor_missing(day):
+                # Collector outage: no daily record at all for this day.
+                dataset.missing_days.append(day)
+                day += 1
+                continue
             total = self._total_bps * (1.0 + 0.03 * float(self._rng.normal()))
             ntp = self._ntp_baseline * total + attack_bytes.get(day, 0.0) * 8.0 / DAY
             dns = self._dns_fraction * total * (1.0 + 0.05 * float(self._rng.normal()))

@@ -61,6 +61,12 @@ class OnpSample:
     t: float
     mode: int
     captures: list = field(default_factory=list)
+    #: True when the whole weekly sweep is missing (apparatus outage);
+    #: the sample is kept in the dataset so consumers can mark the gap.
+    outage: bool = False
+    #: Fraction of the target list the sweep actually covered (< 1.0 when
+    #: the apparatus aborted the sweep partway through the address space).
+    coverage: float = 1.0
 
     @property
     def date(self):
@@ -90,12 +96,16 @@ class OnpDataset:
 class OnpProber:
     """Runs the weekly sweeps against the simulated world."""
 
-    def __init__(self, state_manager, prober_ip=ONP_PROBER_IP, loss_rate=0.05):
+    def __init__(self, state_manager, prober_ip=ONP_PROBER_IP, loss_rate=0.05, faults=None):
         if not 0 <= loss_rate < 1:
             raise ValueError("loss_rate must be in [0, 1)")
         self._state = state_manager
         self._ip = prober_ip
         self._loss = loss_rate
+        #: Optional :class:`~repro.faults.FaultInjector`.  All fault draws
+        #: come from the injector's own streams, never from the sweep RNG,
+        #: so a clean profile leaves the sweeps byte-identical.
+        self._faults = faults
 
     def run_monlist_sample(self, host_pool, t, rng):
         """One IPv4-wide monlist sweep at time ``t``.
@@ -106,7 +116,20 @@ class OnpProber:
         the single scanning source.
         """
         sample = OnpSample(t=t, mode=7)
-        for host in host_pool.monlist_hosts:
+        faults = self._faults
+        targets = host_pool.monlist_hosts
+        if faults is not None:
+            if faults.sample_outage(7, t):
+                sample.outage = True
+                return sample
+            cutoff = faults.sweep_cutoff(7, t)
+            if cutoff is not None:
+                # Aborted sweep: only the first fraction of the target list
+                # was ever probed.  Unprobed hosts consume no draws, exactly
+                # as never-replying hosts already don't.
+                sample.coverage = cutoff
+                targets = targets[: int(len(targets) * cutoff)]
+        for host in targets:
             # Remediated hosts never answer again, and their table contents
             # are unobservable, so they can be skipped outright.
             if not host.monlist_active(t):
@@ -123,11 +146,16 @@ class OnpProber:
             # every subsequent draw and breaks world determinism.
             if rng.random() < self._loss:
                 continue
+            packets = reply.packets
+            if faults is not None:
+                # Degrade only what the apparatus recorded (post-loss), from
+                # the injector's own stream — the sweep RNG is untouched.
+                packets = faults.mangle_mode7(packets)
             sample.captures.append(
                 ProbeCapture(
                     target_ip=host.ip,
                     t=t,
-                    packets=reply.packets,
+                    packets=packets,
                     n_repeats=reply.n_repeats,
                 )
             )
@@ -136,7 +164,17 @@ class OnpProber:
     def run_version_sample(self, host_pool, t, rng):
         """One IPv4-wide mode-6 version sweep at time ``t``."""
         sample = OnpSample(t=t, mode=6)
-        for host in host_pool.version_hosts:
+        faults = self._faults
+        targets = host_pool.version_hosts
+        if faults is not None:
+            if faults.sample_outage(6, t):
+                sample.outage = True
+                return sample
+            cutoff = faults.sweep_cutoff(6, t)
+            if cutoff is not None:
+                sample.coverage = cutoff
+                targets = targets[: int(len(targets) * cutoff)]
+        for host in targets:
             if not host.version_active(t):
                 continue
             # Version replies don't depend on monitor-table state, so no

@@ -32,6 +32,7 @@ __all__ = [
     "encode_mode7_request",
     "encode_mode7_response",
     "decode_mode7",
+    "decode_mode7_stream",
     "encode_monitor_entry",
     "decode_monitor_entries",
     "encode_mode6_request",
@@ -280,6 +281,24 @@ def decode_mode7(data):
         data=body,
         items=items,
     )
+
+
+def decode_mode7_stream(packets):
+    """Best-effort decode of a captured packet stream.
+
+    Returns ``(decoded, n_undecodable)``: every packet that parses as
+    mode 7, in arrival order, plus the count of packets that did not.
+    The strict :func:`decode_mode7` contract (only :class:`WireError` on
+    malformed input) is what makes this salvage loop safe.
+    """
+    decoded = []
+    n_undecodable = 0
+    for packet in packets:
+        try:
+            decoded.append(decode_mode7(packet))
+        except WireError:
+            n_undecodable += 1
+    return decoded, n_undecodable
 
 
 # ---------------------------------------------------------------------------

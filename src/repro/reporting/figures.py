@@ -7,53 +7,81 @@ Everything returns plain strings; nothing touches a plotting library.
 
 import math
 
-__all__ = ["sparkline", "ascii_chart", "ascii_bars"]
+__all__ = ["GAP_CHAR", "sparkline", "ascii_chart", "ascii_bars"]
 
 _BLOCKS = " .:-=+*#%@"
 
 
+#: Column marker for a missing (None) observation — distinct from a zero,
+#: which renders as a blank.
+GAP_CHAR = "?"
+
+
 def sparkline(values, width=None):
-    """One-line density strip of a numeric series (linear scale)."""
+    """One-line density strip of a numeric series (linear scale).
+
+    A None value is a measurement gap and renders as ``?`` — explicitly
+    "no data", never interpolated and never conflated with zero.
+    """
     values = list(values)
     if not values:
         return ""
     if width is not None and len(values) > width:
-        # Downsample by taking the max of each chunk (peaks matter here).
+        # Downsample by taking the max of each chunk (peaks matter here;
+        # a chunk with any real value shows it, an all-gap chunk stays a gap).
         chunk = len(values) / width
-        values = [
-            max(values[int(i * chunk) : max(int(i * chunk) + 1, int((i + 1) * chunk))])
-            for i in range(width)
-        ]
-    top = max(values)
+        downsampled = []
+        for i in range(width):
+            window = values[int(i * chunk) : max(int(i * chunk) + 1, int((i + 1) * chunk))]
+            real = [v for v in window if v is not None]
+            downsampled.append(max(real) if real else None)
+        values = downsampled
+    real = [v for v in values if v is not None]
+    top = max(real) if real else 0
     if top <= 0:
-        return " " * len(values)
-    return "".join(_BLOCKS[min(9, int(v / top * 9.999))] if v > 0 else " " for v in values)
+        return "".join(GAP_CHAR if v is None else " " for v in values)
+    return "".join(
+        GAP_CHAR
+        if v is None
+        else (_BLOCKS[min(9, int(v / top * 9.999))] if v > 0 else " ")
+        for v in values
+    )
 
 
 def ascii_chart(series, height=12, width=64, log=False, title=None, value_fmt="{:.3g}"):
     """A y-vs-x line chart of a [(x, y)] series as text.
 
     ``log=True`` uses a log10 y-axis — how Figures 1, 3, and 4a read.
+    A None y value is a measurement gap: its column renders as a ``?``
+    on the baseline instead of a point (no interpolation).
     """
     series = [(x, y) for x, y in series]
     if not series:
         return "(empty series)"
-    ys = [y for _, y in series]
+    ys = [y for _, y in series if y is not None]
+    if not ys:
+        return "(no data: all points are measurement gaps)"
     if log:
         floor = min(y for y in ys if y > 0) if any(y > 0 for y in ys) else 1e-12
         transform = lambda y: math.log10(max(y, floor / 10))
     else:
         transform = lambda y: y
-    ty = [transform(y) for y in ys]
-    lo, hi = min(ty), max(ty)
+    ty = [None if y is None else transform(y) for _, y in series]
+    real_ty = [v for v in ty if v is not None]
+    lo, hi = min(real_ty), max(real_ty)
     span = (hi - lo) or 1.0
 
     # Downsample x to the chart width.
     n = len(series)
     columns = min(width, n)
     grid = [[" "] * columns for _ in range(height)]
+    n_gaps = 0
     for c in range(columns):
         index = int(c * (n - 1) / max(1, columns - 1))
+        if ty[index] is None:
+            grid[height - 1][c] = GAP_CHAR
+            n_gaps += 1
+            continue
         level = (ty[index] - lo) / span
         row = height - 1 - int(level * (height - 1))
         grid[row][c] = "*"
@@ -66,6 +94,8 @@ def ascii_chart(series, height=12, width=64, log=False, title=None, value_fmt="{
         prefix = top_label if r == 0 else (bottom_label if r == height - 1 else "")
         lines.append(f"{prefix:>10} |" + "".join(row))
     lines.append(" " * 11 + "+" + "-" * columns)
+    if n_gaps:
+        lines.append(" " * 12 + f"({GAP_CHAR} = no data: {n_gaps} gap column(s))")
     return "\n".join(lines)
 
 

@@ -135,7 +135,13 @@ def load_world(path, params):
             f"{path}: built by repro {payload.get('version')!r}, "
             f"this is {_package_version()!r}"
         )
-    if payload.get("params") != params:
+    try:
+        params_match = payload.get("params") == params
+    except Exception:  # noqa: BLE001 -- a params object unpickled from an
+        # older schema can fail dataclass comparison (missing fields); any
+        # comparison failure is a stale cache, never a crash.
+        params_match = False
+    if not params_match:
         raise CacheMiss(
             f"{path}: built for {payload.get('params')!r}, requested {params!r}"
         )

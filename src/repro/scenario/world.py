@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.attack.campaign import AttackCampaign, AttackSpec, CampaignParams
 from repro.attack.scanner import RESEARCH_SCANNERS, ScannerEcosystem, windows_observed_ttl
+from repro.faults import CLEAN_PROFILE, FaultInjector, FaultProfile
 from repro.measurement.amplifier_state import AmplifierStateManager
 from repro.measurement.arbor import ArborCollector
 from repro.measurement.isp import IspMeasurement
@@ -61,6 +62,10 @@ class WorldParams:
     n_ases: int = None
     observation_start: float = date_to_sim(2013, 9, 1)
     observation_end: float = date_to_sim(2014, 5, 1)
+    #: Measurement-apparatus imperfection model (see :mod:`repro.faults`).
+    #: The default clean profile injects nothing and leaves the world
+    #: byte-identical to a build without the fault layer.
+    faults: FaultProfile = CLEAN_PROFILE
 
     def resolved_n_ases(self):
         if self.n_ases is not None:
@@ -101,6 +106,9 @@ class PaperWorld:
     #: Wall-clock seconds per build phase (see ``build``); purely
     #: observational — never feeds back into the simulation.
     build_timings: dict = field(default_factory=dict)
+    #: The :class:`~repro.faults.InjectionLog` of every apparatus fault
+    #: injected during the build (None on worlds from older caches).
+    fault_log: object = None
 
     # -- reporting -------------------------------------------------------------------
 
@@ -143,29 +151,44 @@ class PaperWorld:
             f"{len(self.attacks)} attacks, {len(self.sweeps)} scan sweeps"
         )
         daily = self.arbor.daily
-        nov = max(d.ntp_fraction for d in daily[:20])
-        peak = max(d.ntp_fraction for d in daily)
-        lines.append(
-            f"NTP traffic fraction: {nov:.2e} (Nov) -> {peak:.2e} "
-            f"(peak {peak_traffic_date(self.arbor)}; paper: 1e-5 -> 1e-2 on 2014-02-11)"
-        )
+        if daily:
+            nov = max(d.ntp_fraction for d in daily[:20])
+            peak = max(d.ntp_fraction for d in daily)
+            lines.append(
+                f"NTP traffic fraction: {nov:.2e} (Nov) -> {peak:.2e} "
+                f"(peak {peak_traffic_date(self.arbor)}; paper: 1e-5 -> 1e-2 on 2014-02-11)"
+            )
+        else:
+            lines.append("NTP traffic fraction: (no data: collector recorded no days)")
         parsed = [parse_sample(s) for s in self.onp.monlist_samples]
         rows = amplifier_counts(parsed, self.table, self.pbl)
-        lines.append(
-            f"Amplifier pool: {rows[0].ips} -> {rows[-1].ips} "
-            f"({100 * (1 - rows[-1].ips / rows[0].ips):.0f}% remediated; paper: 92%)"
-        )
+        # Apparatus outages leave all-zero rows; the remediation headline is
+        # computed between the first and last weeks that actually measured.
+        measured = [r for r in rows if not r.outage and r.ips > 0]
+        if len(measured) >= 2:
+            first_row, last_row = measured[0], measured[-1]
+            lines.append(
+                f"Amplifier pool: {first_row.ips} -> {last_row.ips} "
+                f"({100 * (1 - last_row.ips / first_row.ips):.0f}% remediated; paper: 92%)"
+            )
+        else:
+            lines.append("Amplifier pool: (no data: fewer than two measured weeks)")
         churn = churn_report(parsed)
         lines.append(
             f"Unique amplifier IPs: {churn.total_unique} "
             f"(first sample {100 * churn.first_sample_share:.0f}%; paper: ~60%)"
         )
-        box = sample_baf_boxplot(parsed[0])
-        vbox = version_sample_baf_boxplot(self.onp.version_samples[0])
-        lines.append(
-            f"BAF: monlist median {box.median:.1f}x / Q3 {box.q3:.1f}x / max {box.maximum:.1e}x; "
-            f"version {vbox.q1:.1f}/{vbox.median:.1f}/{vbox.q3:.1f} (paper: 4.3/15/1e9; 3.5/4.6/6.9)"
-        )
+        with_tables = [p for p in parsed if p.tables]
+        version_ok = [s for s in self.onp.version_samples if s.captures]
+        if with_tables and version_ok:
+            box = sample_baf_boxplot(with_tables[0])
+            vbox = version_sample_baf_boxplot(version_ok[0])
+            lines.append(
+                f"BAF: monlist median {box.median:.1f}x / Q3 {box.q3:.1f}x / max {box.maximum:.1e}x; "
+                f"version {vbox.q1:.1f}/{vbox.median:.1f}/{vbox.q3:.1f} (paper: 4.3/15/1e9; 3.5/4.6/6.9)"
+            )
+        else:
+            lines.append("BAF: (no data: no parsed monlist or version samples)")
         report = analyze_dataset(parsed, onp_ip=ONP_PROBER_IP)
         victims = report.all_victim_ips()
         lines.append(
@@ -187,6 +210,10 @@ class PaperWorld:
         """Run the whole study.  Deterministic in (seed, params)."""
         params = params or WorldParams(seed=seed, scale=scale)
         rng = RngStream(params.seed, "paper-world")
+        # Fault decisions live on dedicated child streams ("faults/...") so
+        # the clean (empty) profile leaves every simulation stream — and
+        # therefore the world — byte-identical.
+        injector = FaultInjector(params.faults, rng.child("faults"))
         timings = {}
         build_start = time.perf_counter()
         phase_start = build_start
@@ -239,7 +266,7 @@ class PaperWorld:
         mark("campaign")
 
         say("observing darknets")
-        darknet = Ipv4Darknet(rng.child("telescope"))
+        darknet = Ipv4Darknet(rng.child("telescope"), faults=injector)
         darknet.observe_all(sweeps)
         darknet_v6 = Ipv6Darknet(rng.child("telescope-v6"))
         darknet_v6.simulate_window(params.observation_start, params.observation_end)
@@ -253,12 +280,12 @@ class PaperWorld:
         # sync (registering per-attack used to re-sort every list per call).
         state.register_pulses(pulse for attack in attacks for pulse in attack.pulses())
         mark("state")
-        prober = OnpProber(state)
+        prober = OnpProber(state, faults=injector)
         onp = prober.run_all(hosts, rng.child("onp"))
         mark("onp")
 
         say("collecting global traffic statistics")
-        arbor = ArborCollector(rng.child("arbor"), scale=params.scale).collect(
+        arbor = ArborCollector(rng.child("arbor"), scale=params.scale, faults=injector).collect(
             attacks, date_to_sim(2013, 11, 1), params.observation_end
         )
         mark("arbor")
@@ -293,6 +320,7 @@ class PaperWorld:
             dns_pool=dns_pool,
             local_amplifiers=local,
             build_timings=timings,
+            fault_log=injector.log,
         )
 
 

@@ -31,7 +31,7 @@ def _empty_month_counts():
 class Ipv4Darknet:
     """The ≈/9 IPv4 telescope."""
 
-    def __init__(self, rng, pool=DARKNET_POOL, coverage=0.75, coverage_jitter=0.04):
+    def __init__(self, rng, pool=DARKNET_POOL, coverage=0.75, coverage_jitter=0.04, faults=None):
         if not 0 < coverage <= 1:
             raise ValueError("coverage must be in (0, 1]")
         self._rng = rng.child("darknet")
@@ -41,6 +41,12 @@ class Ipv4Darknet:
         self._monthly_packets = defaultdict(_empty_month_counts)
         self._daily_scanners = defaultdict(set)
         self._monthly_coverage = {}
+        #: Optional :class:`~repro.faults.FaultInjector`; fault draws use the
+        #: injector's streams, never ``self._rng``, so a clean profile leaves
+        #: the telescope byte-identical.
+        self._faults = faults
+        #: Day indexes the sensor was down (observable evidence of outages).
+        self.down_days = set()
 
     # -- coverage ---------------------------------------------------------------
 
@@ -71,19 +77,28 @@ class Ipv4Darknet:
         probability ``c``; the expected packet count into the telescope is
         ``c * dark_addresses`` (Poisson-sampled for realism).
         """
-        n24 = self.effective_slash24s(sweep.t)
-        dark_addresses = n24 * 256
-        expected = sweep.coverage * dark_addresses
-        packets = int(self._rng.poisson(expected)) if expected < 1e7 else int(expected)
-        if packets <= 0 and sweep.coverage >= 1.0:
-            packets = dark_addresses
-        key = month_key(sweep.t)
-        label = "benign" if sweep.kind == "research" else "other"
-        self._monthly_packets[key][label] += packets
-        # The sweep is visible on every day it spans.
         day = int(sweep.t // DAY)
+        if self._faults is not None and self._faults.darknet_down(day):
+            # Sensor downtime: nothing is captured on a down day.  Packet
+            # volume is keyed to the sweep's start day; the per-day scanner
+            # sets below check each spanned day individually.
+            self.down_days.add(day)
+        else:
+            n24 = self.effective_slash24s(sweep.t)
+            dark_addresses = n24 * 256
+            expected = sweep.coverage * dark_addresses
+            packets = int(self._rng.poisson(expected)) if expected < 1e7 else int(expected)
+            if packets <= 0 and sweep.coverage >= 1.0:
+                packets = dark_addresses
+            key = month_key(sweep.t)
+            label = "benign" if sweep.kind == "research" else "other"
+            self._monthly_packets[key][label] += packets
+        # The sweep is visible on every day it spans (that the sensor is up).
         last_day = int((sweep.t + sweep.duration) // DAY)
         for d in range(day, last_day + 1):
+            if self._faults is not None and self._faults.darknet_down(d):
+                self.down_days.add(d)
+                continue
             self._daily_scanners[d].add(sweep.scanner_ip)
 
     def observe_all(self, sweeps):

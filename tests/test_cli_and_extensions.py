@@ -199,3 +199,63 @@ def test_build_or_load_world_rebuilds_stale_cache(world, tmp_path, capsys):
     loaded_again = build_or_load_world(Args())
     assert loaded_again.params.seed == 1
     assert loaded_again.summary() == loaded.summary()
+
+
+# -- CLI error hygiene ---------------------------------------------------------
+
+
+def test_main_unknown_artifact_exits_2(capsys):
+    """Unknown artifact ids fail fast (before any world build) with a
+    one-line error and exit code 2, not a traceback."""
+    assert main(["figure", "F99", "--preset", "tiny", "--quiet"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown artifact id" in err
+    assert "F99" in err and "F1" in err
+    assert main(["table", "T9", "nope", "--preset", "tiny", "--quiet"]) == 2
+    assert "'T9', 'nope'" in capsys.readouterr().err
+
+
+def test_main_unreadable_cache_exits_2(tmp_path, capsys):
+    """A --cache path that cannot be a cache file (a directory) is a
+    user-input error: one line on stderr, exit 2."""
+    code = main(["summary", "--preset", "tiny", "--quiet", "--cache", str(tmp_path)])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "is a directory" in err
+
+
+def test_unwritable_cache_warns_and_continues(tmp_path, capsys):
+    """save_world failing must not kill the render: warn and return the
+    freshly-built world."""
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+
+    class Args:
+        cache = str(blocker / "nested" / "world.pkl")  # unwritable: under a file
+        scale = 0.0002
+        preset = "tiny"
+        seed = 3
+        quiet = True
+
+    loaded = build_or_load_world(Args())
+    assert loaded.params.seed == 3
+    assert "could not write world cache" in capsys.readouterr().err
+
+
+def test_quality_command_clean_world(capsys):
+    """python -m repro quality on a clean tiny world: exit 0, empty log."""
+    assert main(["quality", "--preset", "tiny", "--seed", "5", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "clean apparatus" in out
+    assert "RECONCILED" in out
+
+
+def test_quality_command_hostile_world(capsys):
+    """--faults hostile: nonzero injected counts that reconcile (exit 0)."""
+    assert (
+        main(["quality", "--preset", "tiny", "--seed", "5", "--quiet", "--faults", "hostile"]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "hostile" in out
+    assert "Injection log" in out and "clean apparatus" not in out
+    assert "RECONCILED" in out and "FAILED" not in out

@@ -1,0 +1,164 @@
+"""Property/fuzz tests for malformed-wire decoding.
+
+The contract under test: feeding truncated, bit-flipped, reordered, or
+duplicated mode-7 packet sets into :func:`decode_mode7` /
+:func:`reconstruct_table` / :func:`reconstruct_table_lenient` always ends
+in salvage or a clean :class:`WireError` — never an unhandled exception,
+and (for loss-only mutations) never a fabricated entry.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import reconstruct_table, reconstruct_table_lenient
+from repro.analysis.monlist_parse import ParseStats
+from repro.measurement.onp import ProbeCapture
+from repro.ntp import MonlistTable, WireError
+from repro.ntp.constants import IMPL_XNTPD
+from repro.ntp.wire import decode_mode7, decode_mode7_stream
+
+
+def build_packets(n_clients, now=1000.0):
+    table = MonlistTable(capacity=600)
+    for i in range(n_clients):
+        table.record(1000 + i, 123, 3, 4, now=float(i))
+    return tuple(table.render_response_packets(now, 2, IMPL_XNTPD))
+
+
+def capture_of(packets):
+    return ProbeCapture(target_ip=42, t=1000.0, packets=tuple(packets), n_repeats=1)
+
+
+def entry_keys(table):
+    return {(e.addr, e.count, e.last_int, e.first_int) for e in table.entries}
+
+
+_BASE = {n: build_packets(n) for n in (1, 4, 20, 40)}
+_BASE_ENTRIES = {
+    n: entry_keys(reconstruct_table(capture_of(p))) for n, p in _BASE.items()
+}
+
+
+# -- raw decoder never raises anything but WireError ---------------------------
+
+
+@given(st.binary(min_size=0, max_size=400))
+@settings(max_examples=200, deadline=None)
+def test_decode_mode7_raises_only_wireerror(blob):
+    try:
+        packet = decode_mode7(blob)
+    except WireError:
+        return
+    assert packet.item_size >= 0  # decoded: structurally a mode-7 packet
+
+
+@given(
+    st.sampled_from(sorted(_BASE)),
+    st.data(),
+)
+@settings(max_examples=150, deadline=None)
+def test_bitflipped_packets_salvage_or_clean_error(n_clients, data):
+    """Bit corruption anywhere in any fragment: strict parsing either works
+    or raises WireError; lenient parsing never raises at all."""
+    packets = list(_BASE[n_clients])
+    n_flips = data.draw(st.integers(min_value=1, max_value=6))
+    for _ in range(n_flips):
+        index = data.draw(st.integers(min_value=0, max_value=len(packets) - 1))
+        victim = bytearray(packets[index])
+        position = data.draw(st.integers(min_value=0, max_value=len(victim) - 1))
+        mask = data.draw(st.integers(min_value=1, max_value=255))
+        victim[position] ^= mask
+        packets[index] = bytes(victim)
+    capture = capture_of(packets)
+    try:
+        reconstruct_table(capture)
+    except WireError:
+        pass
+    stats = ParseStats()
+    table = reconstruct_table_lenient(capture, stats)
+    assert stats.captures_total == 1
+    if table is None:
+        assert stats.captures_failed == 1
+    else:
+        assert len(table.entries) == stats.entries_recovered
+
+
+@given(
+    st.sampled_from([4, 20, 40]),
+    st.data(),
+)
+@settings(max_examples=150, deadline=None)
+def test_loss_only_mutations_never_fabricate_entries(n_clients, data):
+    """Truncation, drops, reordering, duplication — every salvaged entry
+    existed in the original table, and a clean prefix salvages fully."""
+    original = list(_BASE[n_clients])
+    kept = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(original) - 1),
+            min_size=1,
+            max_size=len(original) + 3,
+        )
+    )
+    packets = [original[i] for i in kept]
+    packets = data.draw(st.permutations(packets))
+    capture = capture_of(packets)
+    stats = ParseStats()
+    table = reconstruct_table_lenient(capture, stats)
+    assert table is not None  # valid fragments: always salvageable
+    assert entry_keys(table) <= _BASE_ENTRIES[n_clients]
+    assert stats.captures_failed == 0
+    assert stats.packets_undecodable == 0
+    # Dropped fragments can orphan later ones, but nothing is invented:
+    # recovered + discarded accounts for every entry in the kept fragments.
+    decoded, _ = decode_mode7_stream(packets)
+    deduped = {p.sequence: p for p in decoded}
+    assert stats.entries_recovered + stats.entries_discarded == sum(
+        len(p.items) for p in deduped.values()
+    )
+
+
+@given(st.sampled_from(sorted(_BASE)))
+@settings(max_examples=20, deadline=None)
+def test_lenient_matches_strict_on_clean_captures(n_clients):
+    capture = capture_of(_BASE[n_clients])
+    strict = reconstruct_table(capture)
+    stats = ParseStats()
+    lenient = reconstruct_table_lenient(capture, stats)
+    assert lenient == strict
+    assert stats.captures_ok == 1
+    assert not stats.degraded
+
+
+def test_truncated_prefix_salvages_in_order():
+    """A tail-truncated multi-packet response yields the exact prefix."""
+    packets = _BASE[40]
+    assert len(packets) > 2
+    full = reconstruct_table(capture_of(packets))
+    stats = ParseStats()
+    cut = reconstruct_table_lenient(capture_of(packets[:2]), stats)
+    assert cut.entries == full.entries[: len(cut.entries)]
+    assert len(cut.entries) > 0
+    assert not stats.degraded  # truncation alone is invisible to the parser
+
+
+def test_gap_drops_fragments_after_it():
+    """Fragment 0 and 2 without 1: only the prefix (fragment 0) survives."""
+    packets = _BASE[40]
+    gapped = capture_of((packets[0], packets[2]))
+    stats = ParseStats()
+    table = reconstruct_table_lenient(gapped, stats)
+    first = reconstruct_table_lenient(capture_of(packets[:1]), ParseStats())
+    assert table.entries == first.entries
+    assert stats.packets_out_of_sequence == 1
+    assert stats.entries_discarded > 0
+    assert stats.captures_salvaged == 1
+
+
+def test_duplicates_deduplicated_first_copy_wins():
+    packets = _BASE[20]
+    duplicated = capture_of(tuple(packets) + (packets[0], packets[-1]))
+    stats = ParseStats()
+    table = reconstruct_table_lenient(duplicated, stats)
+    assert entry_keys(table) == _BASE_ENTRIES[20]
+    assert stats.packets_duplicate == 2
+    assert stats.captures_salvaged == 1
