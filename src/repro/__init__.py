@@ -30,6 +30,6 @@ Quick start::
 
 from repro.scenario import PaperWorld, WorldParams
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["PaperWorld", "WorldParams", "__version__"]

@@ -16,6 +16,7 @@ from repro.analysis.amplification import (
 )
 from repro.analysis.churn import ChurnReport, churn_report
 from repro.analysis.concentration import ConcentrationReport, as_concentration
+from repro.analysis.context import AnalysisContext
 from repro.analysis.local import (
     TtlForensics,
     common_scanner_timeline,
@@ -28,6 +29,8 @@ from repro.analysis.monlist_parse import (
     ParsedSample,
     ParseStats,
     ReconstructedTable,
+    parse_call_count,
+    parse_corpus,
     parse_sample,
     reconstruct_table,
     reconstruct_table_lenient,
@@ -73,6 +76,7 @@ __all__ = [
     "churn_report",
     "ConcentrationReport",
     "as_concentration",
+    "AnalysisContext",
     "TtlForensics",
     "common_scanner_timeline",
     "coordination_report",
@@ -82,6 +86,8 @@ __all__ = [
     "ParsedSample",
     "ParseStats",
     "ReconstructedTable",
+    "parse_call_count",
+    "parse_corpus",
     "parse_sample",
     "reconstruct_table",
     "reconstruct_table_lenient",

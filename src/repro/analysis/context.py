@@ -1,0 +1,92 @@
+"""A parse-once handle over a built world's analysis inputs.
+
+Almost every artifact starts the same way: decode the 15-sample monlist
+corpus, derive the victimology report from the parsed tables, and maybe
+aggregate victims by AS.  Before this module each renderer did that work
+privately, so ``summary`` + ``validate`` + a handful of figures re-decoded
+the same five-million-entry corpus once *each*.  An :class:`AnalysisContext`
+owns the memoized handles instead: any number of consumers share exactly one
+corpus decode per CLI invocation.
+
+Two properties make the sharing safe:
+
+* every derived object is a pure function of the (immutable once built)
+  world, so memoization cannot change any output byte;
+* the memos are lazy — a context handed to a renderer that only reads flow
+  data (Fig 11..15) never triggers a parse at all.
+
+The context also keeps the books: ``parse_calls`` records how many sample
+parses *this context* triggered, and the module-level counter in
+:mod:`repro.analysis.monlist_parse` records every parse in the process —
+tests pin the parse-once contract on both.
+"""
+
+from repro.analysis.monlist_parse import parse_corpus
+
+__all__ = ["AnalysisContext"]
+
+
+class AnalysisContext:
+    """Shared, lazily-populated analysis state for one world.
+
+    ``jobs`` only affects how fast :meth:`parsed_samples` is computed
+    (sample-level process parallelism); every result is identical at any
+    worker count.
+    """
+
+    def __init__(self, world, jobs=1):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.world = world
+        self.jobs = jobs
+        #: Sample parses this context has performed (0 until the first
+        #: consumer needs the corpus; then exactly one corpus decode).
+        self.parse_calls = 0
+        self._parsed = None
+        self._victim_report = None
+        self._concentration = None
+        self._responder_sets = None
+
+    def parsed_samples(self):
+        """The parsed monlist corpus (one decode, ever, per context)."""
+        if self._parsed is None:
+            samples = self.world.onp.monlist_samples
+            self._parsed = parse_corpus(samples, jobs=self.jobs)
+            self.parse_calls += len(samples)
+        return self._parsed
+
+    def victim_report(self):
+        """The §4 victimology report over the parsed corpus."""
+        if self._victim_report is None:
+            from repro.analysis.victimology import analyze_dataset
+            from repro.attack.scanner import ONP_PROBER_IP
+
+            self._victim_report = analyze_dataset(self.parsed_samples(), onp_ip=ONP_PROBER_IP)
+        return self._victim_report
+
+    def concentration(self):
+        """The §4.3 AS-concentration report (victims aggregated by AS)."""
+        if self._concentration is None:
+            from repro.analysis.concentration import as_concentration
+
+            self._concentration = as_concentration(self.victim_report(), self.world.table)
+        return self._concentration
+
+    def responder_ip_sets(self):
+        """Per-monlist-sample responder-IP sets, in sample order.
+
+        Delegates to the samples' own length-guarded caches, so a set
+        computed here is the same object later ``responder_ips()`` callers
+        see (and vice versa).  Callers must not mutate the sets.
+        """
+        if self._responder_sets is None:
+            self._responder_sets = [
+                sample.responder_ips() for sample in self.world.onp.monlist_samples
+            ]
+        return self._responder_sets
+
+    def warm(self):
+        """Force the corpus decode now (before forking render workers, or
+        to time the parse phase in isolation); returns self."""
+        self.parsed_samples()
+        return self

@@ -21,7 +21,20 @@ __all__ = [
     "ParseStats",
     "ParsedSample",
     "parse_sample",
+    "parse_corpus",
+    "parse_call_count",
 ]
+
+#: Process-wide count of :func:`parse_sample` calls.  Corpus decoding is
+#: the analysis layer's dominant cost; the counter lets tests assert the
+#: parse-once contract ("one CLI invocation decodes the corpus exactly
+#: once") instead of trusting the plumbing.
+_PARSE_CALLS = 0
+
+
+def parse_call_count():
+    """How many times :func:`parse_sample` ran in this process."""
+    return _PARSE_CALLS
 
 
 @dataclass
@@ -249,12 +262,26 @@ class ParsedSample:
     #: :class:`~repro.measurement.onp.OnpSample`).
     outage: bool = False
     coverage: float = 1.0
+    #: Length-guarded memo for :meth:`amplifier_ips` (tables are
+    #: append-only during the parse, fixed afterwards).
+    _ip_cache: tuple = field(default=None, repr=False, compare=False)
 
     def __len__(self):
         return len(self.tables)
 
     def amplifier_ips(self):
-        return {table.amplifier_ip for table in self.tables}
+        """The set of amplifier IPs with a parsed table (cached).
+
+        The churn/remediation analyses each walk every sample's IP set;
+        the cache makes those walks reuse one set per sample.  Callers
+        must not mutate the returned set.
+        """
+        cache = self._ip_cache
+        n = len(self.tables)
+        if cache is None or cache[0] != n:
+            cache = (n, {table.amplifier_ip for table in self.tables})
+            self._ip_cache = cache
+        return cache[1]
 
 
 def parse_sample(sample):
@@ -265,6 +292,8 @@ def parse_sample(sample):
     unparseable amplifier shows up in the quality report rather than
     vanishing from every downstream figure without a trace.
     """
+    global _PARSE_CALLS
+    _PARSE_CALLS += 1
     parsed = ParsedSample(
         t=sample.t,
         outage=getattr(sample, "outage", False),
@@ -275,3 +304,35 @@ def parse_sample(sample):
         if table is not None:
             parsed.tables.append(table)
     return parsed
+
+
+def parse_corpus(samples, jobs=1):
+    """Parse a list of ONP samples, optionally across processes.
+
+    Results are returned in input order regardless of worker count, so the
+    output is identical at any ``jobs`` value (each sample's parse is a
+    pure function of its captures).  Parallelism needs the ``fork`` start
+    method (workers inherit the samples copy-on-write; spawn would pickle
+    the whole corpus per worker and cost more than it saves) and at least
+    two samples per worker to amortize the result pickling — otherwise the
+    serial path runs.  The parent's parse-call counter advances by
+    ``len(samples)`` either way, preserving the parse-once accounting.
+    """
+    samples = list(samples)
+    if jobs > 1 and len(samples) >= 2 * jobs:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None
+        if context is not None:
+            global _PARSE_CALLS
+            with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+                parsed = list(pool.map(parse_sample, samples))
+            # Workers incremented their own (forked) counters; mirror the
+            # work into this process's ledger.
+            _PARSE_CALLS += len(samples)
+            return parsed
+    return [parse_sample(sample) for sample in samples]

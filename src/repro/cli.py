@@ -5,10 +5,18 @@ Usage::
     python -m repro summary  [--preset default | --scale 0.002] [--seed 2014]
     python -m repro figure F1 [...]      # F1..F16
     python -m repro table  T1 [...]      # T1..T6
+    python -m repro render --all [--jobs 4] [--out-dir artifacts/]
     python -m repro validate             # §4.4 cross-dataset validation
     python -m repro quality              # per-dataset loss/outage accounting
     python -m repro bench-build          # time a build, write BENCH_build.json
+    python -m repro bench-pipeline       # time build+parse+render, BENCH_pipeline.json
     python -m repro list                 # available artifacts and presets
+
+Every invocation shares one :class:`~repro.analysis.AnalysisContext`, so the
+monlist corpus is decoded exactly once no matter how many artifacts render.
+``--jobs N`` parallelizes sample parsing and artifact rendering over a
+process pool; outputs are merged in request order and are byte-identical at
+any worker count.
 
 A built world can be cached (``--cache world.pkl``) so successive artifact
 renders skip the simulation; the cache is validated against the requested
@@ -22,11 +30,12 @@ import json
 import os
 import sys
 
+from repro.analysis.context import AnalysisContext
 from repro.faults import FAULT_PROFILES, resolve_fault_profile
 from repro.scenario import PaperWorld, WorldParams
 from repro.scenario.presets import PRESETS, resolve_preset
 
-__all__ = ["main", "build_or_load_world", "render_artifact", "ARTIFACTS", "CliError"]
+__all__ = ["main", "build_or_load_world", "render_artifact", "render_many", "ARTIFACTS", "CliError"]
 
 
 class CliError(Exception):
@@ -75,36 +84,27 @@ def build_or_load_world(args):
 
 # ---------------------------------------------------------------------------
 # Artifact renderers
+#
+# Each renderer takes the shared AnalysisContext; parsed corpus, victim
+# report, and AS concentration come from its memos so one CLI invocation
+# decodes the ONP corpus exactly once however many artifacts it renders.
 # ---------------------------------------------------------------------------
 
 
-def _parsed(world):
-    from repro.analysis import parse_sample
-
-    return [parse_sample(s) for s in world.onp.monlist_samples]
-
-
-def _victim_report(world):
-    from repro.analysis import analyze_dataset
-    from repro.attack import ONP_PROBER_IP
-
-    return analyze_dataset(_parsed(world), onp_ip=ONP_PROBER_IP)
-
-
-def _fig1(world):
+def _fig1(ctx):
     from repro.analysis import traffic_fractions
     from repro.reporting.figures import ascii_chart
 
-    series = traffic_fractions(world.arbor, include_gaps=True)
+    series = traffic_fractions(ctx.world.arbor, include_gaps=True)
     ntp = [(d, f) for d, f, _ in series]
     return ascii_chart(ntp, log=True, title="Fig 1: NTP fraction of Internet traffic (log y)")
 
 
-def _fig2(world):
+def _fig2(ctx):
     from repro.analysis import attack_fraction_rows
     from repro.reporting import render_table
 
-    rows = attack_fraction_rows(world.arbor)
+    rows = attack_fraction_rows(ctx.world.arbor)
     return render_table(
         ["Month", "Small", "Medium", "Large", "All"],
         [[r.month, f"{r.small:.2f}", f"{r.medium:.2f}", f"{r.large:.2f}", f"{r.overall:.3f}"] for r in rows],
@@ -112,25 +112,24 @@ def _fig2(world):
     )
 
 
-def _fig3(world):
+def _fig3(ctx):
     from repro.analysis import amplifier_counts
     from repro.reporting.figures import ascii_chart
     from repro.util import format_sim
 
-    rows = amplifier_counts(_parsed(world), world.table, world.pbl)
+    rows = amplifier_counts(ctx.parsed_samples(), ctx.world.table, ctx.world.pbl)
     # An outage week is a gap (None), not a zero-amplifier data point.
     series = [(format_sim(r.t), None if r.outage else r.ips) for r in rows]
     return ascii_chart(series, log=True, title="Fig 3: monlist amplifier IPs (log y)", value_fmt="{:.0f}")
 
 
-def _fig4(world):
+def _fig4(ctx):
     from repro.analysis import sample_baf_boxplot, version_sample_baf_boxplot
     from repro.reporting import render_table
     from repro.util import format_sim
 
-    parsed = _parsed(world)
     rows = []
-    for p in parsed:
+    for p in ctx.parsed_samples():
         if not p.tables:
             rows.append([format_sim(p.t), "-", "-", "-", "- (no data)"])
             continue
@@ -138,7 +137,7 @@ def _fig4(world):
         rows.append([format_sim(p.t), f"{b.q1:.1f}", f"{b.median:.1f}", f"{b.q3:.1f}", f"{b.maximum:.1e}"])
     out = [render_table(["Sample", "Q1", "Median", "Q3", "Max"], rows, title="Fig 4b: monlist BAF")]
     vrows = []
-    for s in world.onp.version_samples:
+    for s in ctx.world.onp.version_samples:
         if not s.captures:
             vrows.append([format_sim(s.t), "-", "-", "-", "- (no data)"])
             continue
@@ -148,37 +147,36 @@ def _fig4(world):
     return "\n\n".join(out)
 
 
-def _fig5(world):
-    from repro.analysis import as_concentration
+def _fig5(ctx):
     from repro.reporting.figures import ascii_bars
 
-    conc = as_concentration(_victim_report(world), world.table)
+    conc = ctx.concentration()
     rows = []
     for k in (1, 3, 10, 30, 100):
         rows.append((f"top {k}", conc.victim_ecdf.fraction_within_top(k)))
-    ovh = world.registry.special["HOSTING-FR-1"]
+    ovh = ctx.world.registry.special["HOSTING-FR-1"]
     chart = ascii_bars(rows, title="Fig 5: victim-packet share by top victim ASes")
     return chart + f"\nOVH-like AS rank: {conc.victim_as_rank(ovh.asn)} (paper: 1)"
 
 
-def _fig6(world):
+def _fig6(ctx):
     from repro.reporting import render_table
     from repro.util import format_sim
 
     rows = [
         [format_sim(t), f"{mean:.2e}", f"{median:.0f}", f"{p95:.2e}"]
-        for t, mean, median, p95 in _victim_report(world).victim_packet_stats()
+        for t, mean, median, p95 in ctx.victim_report().victim_packet_stats()
     ]
     return render_table(["Sample", "Mean", "Median", "95th"], rows, title="Fig 6: packets per victim")
 
 
-def _fig7(world):
+def _fig7(ctx):
     from collections import defaultdict
 
     from repro.reporting.figures import ascii_chart
     from repro.util import format_sim
 
-    hours = _victim_report(world).attacks_per_hour()
+    hours = ctx.victim_report().attacks_per_hour()
     daily = defaultdict(int)
     for hour, count in hours.items():
         daily[hour // 24] += count
@@ -186,11 +184,11 @@ def _fig7(world):
     return ascii_chart(series, title="Fig 7: attacks per day (derived starts)", value_fmt="{:.0f}")
 
 
-def _fig8(world):
+def _fig8(ctx):
     from repro.analysis import darknet_report
     from repro.reporting import render_table
 
-    report = darknet_report(world.darknet)
+    report = darknet_report(ctx.world.darknet)
     rows = [
         [month, f"{v['benign']:.0f}", f"{v['other']:.0f}", f"{report.benign_fractions[month]:.2f}"]
         for month, v in report.monthly_per_slash24.items()
@@ -202,13 +200,13 @@ def _fig8(world):
     )
 
 
-def _fig9(world):
+def _fig9(ctx):
     from repro.analysis import daily_attack_counts, darknet_report, scanning_leads_attacks_by
     from repro.reporting.figures import sparkline
 
-    report = darknet_report(world.darknet)
+    report = darknet_report(ctx.world.darknet)
     scanners = report.daily_unique_scanners
-    attacks = daily_attack_counts(world.attacks)
+    attacks = daily_attack_counts(ctx.world.attacks)
     days = sorted(set(scanners) | set(attacks))
     lead = scanning_leads_attacks_by(scanners, attacks)
     return (
@@ -219,12 +217,12 @@ def _fig9(world):
     )
 
 
-def _fig10(world):
+def _fig10(ctx):
     from repro.analysis import pool_relative_to_peak
     from repro.reporting.figures import sparkline
 
-    parsed = _parsed(world)
-    monlist = pool_relative_to_peak([(p.t, len(p.amplifier_ips())) for p in parsed])
+    world = ctx.world
+    monlist = pool_relative_to_peak([(p.t, len(p.amplifier_ips())) for p in ctx.parsed_samples()])
     version = pool_relative_to_peak([(s.t, len(s)) for s in world.onp.version_samples])
     dns = pool_relative_to_peak([(s.t, s.count) for s in world.dns_pool.weekly_series(n_weeks=60)])
     return (
@@ -246,14 +244,15 @@ def _site_series(world, site_name, arrays):
     return "\n".join(lines)
 
 
-def _fig11(world):
-    site = world.isp.sites["merit"]
+def _fig11(ctx):
+    site = ctx.world.isp.sites["merit"]
     return "Fig 11: " + _site_series(
-        world, "merit", {"sport=123 out": site.ntp_out, "dport=123 in": site.ntp_in_queries}
+        ctx.world, "merit", {"sport=123 out": site.ntp_out, "dport=123 in": site.ntp_in_queries}
     )
 
 
-def _fig12(world):
+def _fig12(ctx):
+    world = ctx.world
     csu = world.isp.sites["csu"]
     frgp = world.isp.sites["frgp"]
     return (
@@ -264,10 +263,10 @@ def _fig12(world):
     )
 
 
-def _fig13(world):
+def _fig13(ctx):
     from repro.reporting.figures import sparkline
 
-    merit = world.isp.sites["merit"]
+    merit = ctx.world.isp.sites["merit"]
     lines = ["Fig 13: top-5 victims of Merit amplifiers (hourly egress)"]
     for victim in merit.top_victims(5):
         series = merit.victim_series_mbps(victim.ip)
@@ -278,11 +277,11 @@ def _fig13(world):
     return "\n".join(lines)
 
 
-def _fig14(world):
+def _fig14(ctx):
     from repro.reporting.figures import sparkline
     from repro.util import RngStream
 
-    merit = world.isp.sites["merit"]
+    merit = ctx.world.isp.sites["merit"]
     background = merit.background_series(RngStream(77, "fig14").generator)
     ntp = merit.ntp_out + merit.ntp_in_reflected + merit.ntp_in_queries
     lines = ["Fig 14: Merit traffic by protocol (hourly bytes)"]
@@ -291,9 +290,10 @@ def _fig14(world):
     return "\n".join(lines)
 
 
-def _fig15(world):
+def _fig15(ctx):
     from repro.net import format_ip
 
+    world = ctx.world
     common = world.isp.common_victims("merit", "frgp")
     merit, frgp = world.isp.sites["merit"], world.isp.sites["frgp"]
     lines = [f"Fig 15: {len(common)} victims common to Merit and FRGP (GB merit/frgp)"]
@@ -308,10 +308,11 @@ def _fig15(world):
     return "\n".join(lines)
 
 
-def _fig16(world):
+def _fig16(ctx):
     from repro.analysis import common_scanner_timeline, ttl_forensics
     from repro.util import format_sim
 
+    world = ctx.world
     timeline = common_scanner_timeline(world.isp)
     forensics = ttl_forensics(world.sweeps, world.attacks, world.isp.sites["csu"].spec.asns)
     days = sorted(timeline)
@@ -325,16 +326,15 @@ def _fig16(world):
     return "\n".join(lines)
 
 
-def _table1(world):
+def _table1(ctx):
     from repro.analysis import amplifier_counts
     from repro.net import aggregate_counts
     from repro.reporting import render_table1
 
-    parsed = _parsed(world)
-    report = _victim_report(world)
-    amp_rows = amplifier_counts(parsed, world.table, world.pbl)
+    world = ctx.world
+    amp_rows = amplifier_counts(ctx.parsed_samples(), world.table, world.pbl)
     victim_rows = []
-    for sample in report.samples:
+    for sample in ctx.victim_report().samples:
         ips = sample.victim_ips()
         agg = aggregate_counts(ips, world.table)
         end = world.pbl.end_host_count(ips)
@@ -350,10 +350,11 @@ def _table1(world):
     return render_table1(amp_rows, victim_rows)
 
 
-def _table2(world):
+def _table2(ctx):
     from repro.analysis import parse_version_captures
     from repro.reporting import render_table2
 
+    world = ctx.world
     captures = [c for s in world.onp.version_samples for c in s.captures]
     report = parse_version_captures(captures)
     amplifier_ips = {h.ip for h in world.hosts.monlist_hosts}
@@ -371,12 +372,13 @@ def _table2(world):
     )
 
 
-def _table3(world):
+def _table3(ctx):
     from repro.analysis import ParseStats, reconstruct_table_lenient
     from repro.attack import ONP_PROBER_IP
     from repro.reporting import render_monlist_table
 
-    sample = world.onp.monlist_samples[min(6, len(world.onp.monlist_samples) - 1)]
+    samples = ctx.world.onp.monlist_samples
+    sample = samples[min(6, len(samples) - 1)]
     stats = ParseStats()
     for capture in sample.captures:
         table = reconstruct_table_lenient(capture, stats)
@@ -391,27 +393,29 @@ def _table3(world):
     )
 
 
-def _table4(world):
+def _table4(ctx):
     from repro.reporting import render_table4
 
-    return render_table4(_victim_report(world).port_table(top=20))
+    return render_table4(ctx.victim_report().port_table(top=20))
 
 
-def _table5(world):
+def _table5(ctx):
     from repro.analysis import top_amplifier_table
     from repro.reporting import render_table5
 
+    sites = ctx.world.isp.sites
     return (
-        render_table5("Merit", top_amplifier_table(world.isp.sites["merit"]))
+        render_table5("Merit", top_amplifier_table(sites["merit"]))
         + "\n\n"
-        + render_table5("CSU", top_amplifier_table(world.isp.sites["csu"]))
+        + render_table5("CSU", top_amplifier_table(sites["csu"]))
     )
 
 
-def _table6(world):
+def _table6(ctx):
     from repro.analysis import top_victim_table
     from repro.reporting import render_table6
 
+    world = ctx.world
     return (
         render_table6("Merit", top_victim_table(world.isp.sites["merit"], world.table, world.geo))
         + "\n\n"
@@ -419,14 +423,13 @@ def _table6(world):
     )
 
 
-def _validate(world):
-    from repro.analysis import as_concentration
+def _validate(ctx):
     from repro.analysis.validation import validate_ovh_event
 
-    concentration = as_concentration(_victim_report(world), world.table)
+    world = ctx.world
     ovh = world.registry.special["HOSTING-FR-1"]
     result = validate_ovh_event(
-        world.attacks, _parsed(world), concentration, world.table, ovh.asn
+        world.attacks, ctx.parsed_samples(), ctx.concentration(), world.table, ovh.asn
     )
     return (
         "§4.4 cross-dataset validation (the OVH/CloudFlare event):\n"
@@ -437,50 +440,6 @@ def _validate(world):
         f"  victim-packet share of overlapping ASes: {result.victim_packet_share:.2f} (paper: 0.60)\n"
         f"  target AS victim rank: {result.target_as_rank} (paper: 1)"
     )
-
-
-def _bench_build(args):
-    """Build a world fresh (never cached), record phase timings to JSON.
-
-    The JSON is the perf trajectory's unit record: one file per run with
-    enough provenance (seed/scale/version/host counts) to compare across
-    commits.  ``--max-seconds`` turns it into a CI regression gate.
-    """
-    import platform
-    import time as _time
-
-    from repro import __version__
-
-    params = _world_params(args)
-    world = PaperWorld.build(params=params, quiet=args.quiet)
-    timings = dict(world.build_timings)
-    total = timings.pop("total")
-    record = {
-        "seed": params.seed,
-        "scale": params.scale,
-        "n_ases": params.resolved_n_ases(),
-        "package_version": __version__,
-        "python": platform.python_version(),
-        "unix_time": int(_time.time()),
-        "hosts": len(world.hosts),
-        "victims": len(world.victims),
-        "attacks": len(world.attacks),
-        "sweeps": len(world.sweeps),
-        "total_seconds": round(total, 4),
-        "phases": {phase: round(seconds, 4) for phase, seconds in timings.items()},
-    }
-    with open(args.out, "w") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print("\n".join(world.timing_summary()))
-    print(f"(wrote {args.out})")
-    if args.max_seconds is not None and total > args.max_seconds:
-        print(
-            f"FAIL: build took {total:.2f}s > ceiling {args.max_seconds:.2f}s",
-            file=sys.stderr,
-        )
-        return 1
-    return 0
 
 
 ARTIFACTS = {
@@ -509,13 +468,211 @@ ARTIFACTS = {
 }
 
 
-def render_artifact(world, artifact_id):
-    """Render one artifact by id (``F1``..``F16``, ``T1``..``T6``)."""
+def render_artifact(world, artifact_id, context=None):
+    """Render one artifact by id (``F1``..``F16``, ``T1``..``T6``).
+
+    ``context`` shares parsed state across renders; without one, a private
+    context is created (same output, but each call re-parses what it needs).
+    """
     key = artifact_id.upper()
     if key not in ARTIFACTS:
         raise KeyError(f"unknown artifact {artifact_id!r}; choose from {sorted(ARTIFACTS)}")
+    if context is None:
+        context = AnalysisContext(world)
     _, renderer = ARTIFACTS[key]
-    return renderer(world)
+    return renderer(context)
+
+
+# ---------------------------------------------------------------------------
+# Parallel rendering
+# ---------------------------------------------------------------------------
+
+#: The pre-warmed context render workers inherit through fork.  Module
+#: global (not a closure) so the worker function pickles by reference.
+_WORKER_CONTEXT = None
+
+
+def _render_in_worker(artifact_id):
+    return render_artifact(_WORKER_CONTEXT.world, artifact_id, context=_WORKER_CONTEXT)
+
+
+def render_many(world, artifact_ids, jobs=1, context=None):
+    """Render several artifacts, optionally over a process pool.
+
+    Returns the rendered texts in the order requested — never completion
+    order — so the output is byte-identical at any ``jobs`` value (each
+    renderer is a pure function of the world).  Parallelism requires the
+    ``fork`` start method: the parent decodes the corpus once (``warm``)
+    and workers inherit the parsed state copy-on-write, keeping the
+    parse-once contract across the whole pool.  Where fork is unavailable
+    the serial path runs instead, with identical output.
+    """
+    global _WORKER_CONTEXT
+    ids = [artifact_id.upper() for artifact_id in artifact_ids]
+    ctx = context if context is not None else AnalysisContext(world, jobs=jobs)
+    if jobs > 1 and len(ids) > 1:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:
+            mp_context = None
+        if mp_context is not None:
+            ctx.warm()
+            _WORKER_CONTEXT = ctx
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(ids)), mp_context=mp_context
+                ) as pool:
+                    return list(pool.map(_render_in_worker, ids))
+            finally:
+                _WORKER_CONTEXT = None
+    return [render_artifact(ctx.world, artifact_id, context=ctx) for artifact_id in ids]
+
+
+def _emit_artifacts(ids, outputs, out_dir=None):
+    """Print rendered artifacts, or write one ``<id>.txt`` per artifact."""
+    if out_dir is None:
+        for text in outputs:
+            print(text)
+            print()
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    for artifact_id, text in zip(ids, outputs):
+        path = os.path.join(out_dir, f"{artifact_id.upper()}.txt")
+        with open(path, "w") as handle:
+            handle.write(text)
+            handle.write("\n")
+    print(f"(wrote {len(ids)} artifacts to {out_dir})", file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks
+# ---------------------------------------------------------------------------
+
+
+def _provenance(args, params):
+    """The shared benchmark-record fields tying a run to its world."""
+    import platform
+    import time as _time
+
+    from repro import __version__
+
+    return {
+        "seed": params.seed,
+        "scale": params.scale,
+        "preset": args.preset,
+        "faults": getattr(params.faults, "name", "unknown"),
+        "n_ases": params.resolved_n_ases(),
+        "package_version": __version__,
+        "python": platform.python_version(),
+        "unix_time": int(_time.time()),
+    }
+
+
+def _bench_build(args):
+    """Build a world fresh (never cached), record phase timings to JSON.
+
+    The JSON is the perf trajectory's unit record: one file per run with
+    enough provenance (seed/scale/faults/version/host counts) to compare
+    across commits.  ``--max-seconds`` turns it into a CI regression gate.
+    """
+    params = _world_params(args)
+    world = PaperWorld.build(params=params, quiet=args.quiet)
+    timings = dict(world.build_timings)
+    total = timings.pop("total")
+    record = _provenance(args, params)
+    record.update(
+        {
+            "hosts": len(world.hosts),
+            "victims": len(world.victims),
+            "attacks": len(world.attacks),
+            "sweeps": len(world.sweeps),
+            "total_seconds": round(total, 4),
+            "phases": {phase: round(seconds, 4) for phase, seconds in timings.items()},
+        }
+    )
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("\n".join(world.timing_summary()))
+    print(f"(wrote {args.out})")
+    if args.max_seconds is not None and total > args.max_seconds:
+        print(
+            f"FAIL: build took {total:.2f}s > ceiling {args.max_seconds:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _bench_pipeline(args):
+    """Time the full artifact pipeline: build, parse, render x2.
+
+    Renders all 22 artifacts twice — serially and over ``--jobs`` workers —
+    and fails (exit 1) if the two render passes are not byte-identical:
+    the determinism contract is load-bearing, so the benchmark doubles as
+    its enforcement.  Writes a BENCH_pipeline.json record with the same
+    provenance scheme as BENCH_build.json.
+    """
+    from time import perf_counter
+
+    params = _world_params(args)
+    ids = list(ARTIFACTS)
+
+    start = perf_counter()
+    world = PaperWorld.build(params=params, quiet=args.quiet)
+    build_seconds = perf_counter() - start
+
+    context = AnalysisContext(world, jobs=args.jobs)
+    start = perf_counter()
+    context.warm()
+    parse_seconds = perf_counter() - start
+
+    start = perf_counter()
+    serial = [render_artifact(world, artifact_id, context=context) for artifact_id in ids]
+    serial_seconds = perf_counter() - start
+
+    start = perf_counter()
+    parallel = render_many(world, ids, jobs=args.jobs, context=context)
+    parallel_seconds = perf_counter() - start
+
+    identical = serial == parallel
+    total = build_seconds + parse_seconds + serial_seconds + parallel_seconds
+    record = _provenance(args, params)
+    record.update(
+        {
+            "jobs": args.jobs,
+            "n_artifacts": len(ids),
+            "parse_calls": context.parse_calls,
+            "byte_identical": identical,
+            "total_seconds": round(total, 4),
+            "phases": {
+                "build": round(build_seconds, 4),
+                "parse": round(parse_seconds, 4),
+                "render_serial": round(serial_seconds, 4),
+                "render_parallel": round(parallel_seconds, 4),
+            },
+        }
+    )
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"Pipeline: {total:.2f}s wall clock ({len(ids)} artifacts, jobs={args.jobs})")
+    for phase, seconds in record["phases"].items():
+        print(f"  {phase:<16} {seconds:8.2f}s")
+    print(f"(wrote {args.out})")
+    if not identical:
+        print("FAIL: parallel render output differs from serial", file=sys.stderr)
+        return 1
+    if args.max_seconds is not None and total > args.max_seconds:
+        print(
+            f"FAIL: pipeline took {total:.2f}s > ceiling {args.max_seconds:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -523,10 +680,10 @@ def render_artifact(world, artifact_id):
 # ---------------------------------------------------------------------------
 
 
-def _quality(world):
+def _quality(ctx):
     from repro.analysis import quality_report
 
-    report = quality_report(world)
+    report = quality_report(ctx.world, parsed_samples=ctx.parsed_samples())
     print(report.render())
     return 0 if report.ok else 1
 
@@ -543,6 +700,17 @@ def _add_world_args(parser):
     )
     parser.add_argument("--cache", default=None, help="pickle path to cache/reuse the world")
     parser.add_argument("--quiet", action="store_true", default=False)
+
+
+def _add_jobs_arg(parser):
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse samples and render artifacts over N processes "
+        "(output is byte-identical at any N)",
+    )
 
 
 def main(argv=None):
@@ -569,13 +737,42 @@ def main(argv=None):
         help="exit nonzero if the build exceeds this wall-clock ceiling (CI smoke)",
     )
 
+    p_bench_pipe = subparsers.add_parser(
+        "bench-pipeline",
+        help="time build + parse + serial/parallel render of all artifacts",
+    )
+    _add_world_args(p_bench_pipe)
+    _add_jobs_arg(p_bench_pipe)
+    p_bench_pipe.add_argument("--out", default="BENCH_pipeline.json", help="output JSON path")
+    p_bench_pipe.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="exit nonzero if the pipeline exceeds this wall-clock ceiling (CI smoke)",
+    )
+
     p_figure = subparsers.add_parser("figure", help="render figures F1..F16")
     p_figure.add_argument("ids", nargs="+", metavar="F#")
     _add_world_args(p_figure)
+    _add_jobs_arg(p_figure)
 
     p_table = subparsers.add_parser("table", help="render tables T1..T6")
     p_table.add_argument("ids", nargs="+", metavar="T#")
     _add_world_args(p_table)
+    _add_jobs_arg(p_table)
+
+    p_render = subparsers.add_parser(
+        "render", help="render many artifacts (optionally in parallel / to files)"
+    )
+    p_render.add_argument("ids", nargs="*", metavar="ID", help="artifact ids (or use --all)")
+    p_render.add_argument(
+        "--all", action="store_true", default=False, help="render every artifact (F1..T6)"
+    )
+    p_render.add_argument(
+        "--out-dir", default=None, metavar="DIR", help="write one DIR/<id>.txt per artifact"
+    )
+    _add_world_args(p_render)
+    _add_jobs_arg(p_render)
 
     p_validate = subparsers.add_parser("validate", help="§4.4 cross-dataset validation")
     _add_world_args(p_validate)
@@ -600,8 +797,20 @@ def main(argv=None):
 
     if args.command == "bench-build":
         return _bench_build(args)
+    if args.command == "bench-pipeline":
+        return _bench_pipeline(args)
 
-    if args.command in ("figure", "table"):
+    if args.command == "render":
+        if args.all:
+            if args.ids:
+                print("error: pass artifact ids or --all, not both", file=sys.stderr)
+                return 2
+            args.ids = list(ARTIFACTS)
+        elif not args.ids:
+            print("error: no artifacts requested (pass ids or --all)", file=sys.stderr)
+            return 2
+
+    if args.command in ("figure", "table", "render"):
         # Validate ids before spending minutes building a world.
         unknown = [i for i in args.ids if i.upper() not in ARTIFACTS]
         if unknown:
@@ -617,16 +826,16 @@ def main(argv=None):
     except CliError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    context = AnalysisContext(world, jobs=getattr(args, "jobs", 1))
     if args.command == "summary":
-        print(world.summary(include_timings=args.timings))
-    elif args.command in ("figure", "table"):
-        for artifact_id in args.ids:
-            print(render_artifact(world, artifact_id))
-            print()
+        print(world.summary(include_timings=args.timings, context=context))
+    elif args.command in ("figure", "table", "render"):
+        outputs = render_many(world, args.ids, jobs=args.jobs, context=context)
+        _emit_artifacts(args.ids, outputs, out_dir=getattr(args, "out_dir", None))
     elif args.command == "validate":
-        print(_validate(world))
+        print(_validate(context))
     elif args.command == "quality":
-        return _quality(world)
+        return _quality(context)
     return 0
 
 

@@ -61,6 +61,18 @@ class AmplifierStateManager:
         self._research_times = [sorted(s.sweep_times()) for s in research_scanners]
         #: {day index: (total malicious coverage, [scanner ips sample])}
         self._malicious_by_day = malicious_coverage_per_day or {}
+        # Derived (rebuilt on demand, dropped from pickles): a day-sorted
+        # prefix index over _malicious_by_day plus a per-(day0, day1) memo
+        # of window sums — sync windows are day-quantized, so thousands of
+        # hosts share a handful of distinct windows per sample.
+        self._malicious_index = None
+        self._malicious_window_cache = {}
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_malicious_index"] = None
+        state["_malicious_window_cache"] = {}
+        return state
 
     # -- wiring -------------------------------------------------------------------
 
@@ -111,6 +123,25 @@ class AmplifierStateManager:
             if len(ips) < 64:
                 ips = ips + [(sweep.scanner_ip, sweep.mode)]
             self._malicious_by_day[day] = (coverage, ips)
+        self._malicious_index = None
+        self._malicious_window_cache = {}
+
+    def _malicious_prefix(self):
+        """(sorted days, aligned coverages, flat ip pool, pool offsets)."""
+        index = self._malicious_index
+        if index is None:
+            days = sorted(self._malicious_by_day)
+            coverages = []
+            offsets = [0]
+            flat = []
+            for day in days:
+                coverage, ips = self._malicious_by_day[day]
+                coverages.append(coverage)
+                flat.extend(ips)
+                offsets.append(len(flat))
+            index = (days, coverages, flat, offsets)
+            self._malicious_index = index
+        return index
 
     # -- server access ----------------------------------------------------------------
 
@@ -156,8 +187,9 @@ class AmplifierStateManager:
         since = base if base > host.birth else None
         # Absolute overwrite: recomputes cumulative counts since the last
         # flush, so syncing twice is idempotent for background clients.
-        for ip, port, count, first, last in host.clients.state_at(now, since=since):
-            server.table.put_record(ip, port, MODE_CLIENT, 4, int(count), first, last)
+        rows = host.clients.state_at(now, since=since)
+        if rows:
+            server.table.put_client_records(rows, MODE_CLIENT, 4)
 
     def _sync_research(self, host, server, now, base):
         for scanner, times in zip(self._research, self._research_times):
@@ -179,25 +211,34 @@ class AmplifierStateManager:
     def _sync_malicious(self, host, server, now, window_start):
         from repro.util.simtime import DAY
 
+        if not self._malicious_by_day:
+            return
         day0 = int(window_start // DAY)
         day1 = int(now // DAY)
-        total_coverage = 0.0
-        ip_pool = []
-        for day in range(day0, day1 + 1):
-            entry = self._malicious_by_day.get(day)
-            if entry is None:
-                continue
-            coverage, ips = entry
-            total_coverage += coverage
-            ip_pool.extend(ips)
-        if not ip_pool or total_coverage <= 0:
+        window = self._malicious_window_cache.get((day0, day1))
+        if window is None:
+            days, coverages, flat, offsets = self._malicious_prefix()
+            lo = bisect.bisect_left(days, day0)
+            hi = bisect.bisect_right(days, day1)
+            # Ascending-day sequential sum: the exact float the old
+            # day-range loop accumulated (prefix-sum differences would
+            # round differently and shift the poisson draw below).
+            total_coverage = 0.0
+            for i in range(lo, hi):
+                total_coverage += coverages[i]
+            window = (total_coverage, offsets[lo], offsets[hi])
+            self._malicious_window_cache[(day0, day1)] = window
+        total_coverage, pool_lo, pool_hi = window
+        pool_len = pool_hi - pool_lo
+        if pool_len == 0 or total_coverage <= 0:
             return
+        flat = self._malicious_prefix()[2]
         # A scanner with coverage c hits this amplifier with probability c;
         # the window's expected hits is the summed coverage.  Capped: the
         # table only needs a plausible scanner background, not a census.
         hits = min(int(self._rng.poisson(total_coverage)), 6)
         for _ in range(hits):
-            ip, mode = ip_pool[int(self._rng.integers(0, len(ip_pool)))]
+            ip, mode = flat[pool_lo + int(self._rng.integers(0, pool_len))]
             t = window_start + float(self._rng.uniform(0, max(1.0, now - window_start)))
             server.record_client(ip, int(self._rng.integers(1024, 65535)), mode, 2, min(t, now))
 

@@ -15,7 +15,7 @@ ntpdc protocol logic, exactly as the paper did.
 from dataclasses import dataclass, field
 
 from repro.attack.scanner import ONP_PROBER_IP
-from repro.ntp.constants import IMPL_XNTPD, MODE_CONTROL
+from repro.ntp.constants import IMPL_XNTPD, MODE_CONTROL, MODE_PRIVATE
 from repro.util.simtime import WEEK, date_to_sim, format_sim, week_samples
 
 __all__ = [
@@ -68,6 +68,10 @@ class OnpSample:
     #: the apparatus aborted the sweep partway through the address space).
     coverage: float = 1.0
 
+    #: Length-guarded memo for :meth:`responder_ips` — samples are
+    #: append-only after the sweep, so a stale entry is detected by size.
+    _responder_cache: tuple = field(default=None, repr=False, compare=False)
+
     @property
     def date(self):
         return format_sim(self.t)
@@ -76,7 +80,18 @@ class OnpSample:
         return len(self.captures)
 
     def responder_ips(self):
-        return {c.target_ip for c in self.captures}
+        """The set of target IPs that produced a capture (cached).
+
+        Analysis loops call this once per (sample, artifact) pair; the set
+        is rebuilt only when the capture list has grown since the last
+        call, which never happens after the sweep completes.
+        """
+        cache = self._responder_cache
+        n = len(self.captures)
+        if cache is None or cache[0] != n:
+            cache = (n, {c.target_ip for c in self.captures})
+            self._responder_cache = cache
+        return cache[1]
 
 
 @dataclass
@@ -85,12 +100,20 @@ class OnpDataset:
 
     monlist_samples: list = field(default_factory=list)
     version_samples: list = field(default_factory=list)
+    _unique_cache: tuple = field(default=None, repr=False, compare=False)
 
     def monlist_unique_ips(self):
-        out = set()
-        for sample in self.monlist_samples:
-            out |= sample.responder_ips()
-        return out
+        """Union of responder IPs over all monlist samples (cached; the
+        guard is the total capture count, append-only after the sweep)."""
+        total = sum(len(s.captures) for s in self.monlist_samples)
+        cache = self._unique_cache
+        if cache is None or cache[0] != total:
+            out = set()
+            for sample in self.monlist_samples:
+                out |= sample.responder_ips()
+            cache = (total, out)
+            self._unique_cache = cache
+        return cache[1]
 
 
 class OnpProber:
@@ -106,6 +129,36 @@ class OnpProber:
         #: come from the injector's own streams, never from the sweep RNG,
         #: so a clean profile leaves the sweeps byte-identical.
         self._faults = faults
+        #: ip -> (server, ProbeReply) memo for version sweeps.  A mode-6
+        #: reply is a pure function of the server's frozen config and ip
+        #: (servers are keyed by ip), so later sweeps skip the render.
+        self._version_replies = {}
+
+    def _sweep_targets(self, host_pool, mode, t, sample, faults):
+        """The active targets of one sweep, honoring outage/cutoff faults.
+
+        Returns ``None`` on a full-sample outage.  Partial sweeps probe
+        only a prefix of the target list; the prefix-limited liveness
+        query yields exactly the hosts ``targets[:k]`` + ``*_active(t)``
+        filtering would, in the same order (pinned by the liveness-index
+        equivalence test).
+        """
+        limit = None
+        if faults is not None:
+            if faults.sample_outage(mode, t):
+                sample.outage = True
+                return None
+            cutoff = faults.sweep_cutoff(mode, t)
+            if cutoff is not None:
+                # Aborted sweep: only the first fraction of the target list
+                # was ever probed.  Unprobed hosts consume no draws, exactly
+                # as never-replying hosts already don't.
+                sample.coverage = cutoff
+                n_targets = len(host_pool.monlist_hosts if mode == 7 else host_pool.version_hosts)
+                limit = int(n_targets * cutoff)
+        if mode == 7:
+            return host_pool.monlist_alive(t, limit=limit)
+        return host_pool.version_alive(t, limit=limit)
 
     def run_monlist_sample(self, host_pool, t, rng):
         """One IPv4-wide monlist sweep at time ``t``.
@@ -117,41 +170,52 @@ class OnpProber:
         """
         sample = OnpSample(t=t, mode=7)
         faults = self._faults
-        targets = host_pool.monlist_hosts
-        if faults is not None:
-            if faults.sample_outage(7, t):
-                sample.outage = True
-                return sample
-            cutoff = faults.sweep_cutoff(7, t)
-            if cutoff is not None:
-                # Aborted sweep: only the first fraction of the target list
-                # was ever probed.  Unprobed hosts consume no draws, exactly
-                # as never-replying hosts already don't.
-                sample.coverage = cutoff
-                targets = targets[: int(len(targets) * cutoff)]
-        for host in targets:
-            # Remediated hosts never answer again, and their table contents
-            # are unobservable, so they can be skipped outright.
-            if not host.monlist_active(t):
+        active = self._sweep_targets(host_pool, 7, t, sample, faults)
+        if active is None:
+            return sample
+        src_ip = self._ip
+        src_port = 50557 + (int(t) % 1000)  # hoisted: constant per sweep
+        sync = self._state.sync
+        # Pass 1 — probe every active host in target-list order: sync its
+        # table, record the probe (ntpd monitors all traffic regardless of
+        # response loss), and note which hosts would reply.  The reply
+        # conditions mirror NtpServer.monlist_reply exactly.
+        repliers = []
+        for host in active:
+            server = sync(host, t)
+            config = server.config
+            # Direct table.record: sync(host, t) already consumed every
+            # flush boundary <= t, so record_client's maybe_flush(t) would
+            # be a guaranteed no-op here.
+            server.table.record(src_ip, src_port, MODE_PRIVATE, 2, t, packets=config.loop_factor)
+            if config.monlist_enabled and IMPL_XNTPD in config.implementations:
+                repliers.append((host, server))
+        if not repliers:
+            return sample
+        # RNG-order contract (pinned; both run_* samplers obey it): the
+        # loss draw happens AFTER reply generation and ONLY for hosts that
+        # produced a reply.  One block draw consumes the PCG64 stream
+        # exactly like len(repliers) scalar random() calls (pinned by the
+        # block-vs-scalar RNG test), so each replier still sees the draw
+        # the per-host loop would have given it — reordering either part
+        # shifts every subsequent draw and breaks world determinism.
+        draws = rng.random(len(repliers))
+        loss = self._loss
+        mangle = faults.mangle_mode7 if faults is not None else None
+        captures = sample.captures
+        # Pass 2 — render replies only for survivors.  Rendering is a pure
+        # function of the table at ``t`` (no table mutates between the
+        # passes), so skipping lost replies changes no surviving bytes.
+        for (host, server), u in zip(repliers, draws):
+            if u < loss:
                 continue
-            server = self._state.sync(host, t)
-            reply = server.respond_monlist(self._ip, 50557 + (int(t) % 1000), t, IMPL_XNTPD)
-            if reply is None:
-                continue
-            # RNG-order contract (pinned; both run_* samplers obey it): the
-            # loss draw happens AFTER reply generation and ONLY for hosts
-            # that produced a reply.  The probe is always recorded by the
-            # server (loss models the response path), and hosts that cannot
-            # reply must not consume a draw — reordering either part shifts
-            # every subsequent draw and breaks world determinism.
-            if rng.random() < self._loss:
-                continue
+            reply = server.monlist_reply(t, IMPL_XNTPD)
             packets = reply.packets
-            if faults is not None:
+            if mangle is not None:
                 # Degrade only what the apparatus recorded (post-loss), from
                 # the injector's own stream — the sweep RNG is untouched.
-                packets = faults.mangle_mode7(packets)
-            sample.captures.append(
+                packets = mangle(packets)
+            captures.append(
                 ProbeCapture(
                     target_ip=host.ip,
                     t=t,
@@ -165,37 +229,51 @@ class OnpProber:
         """One IPv4-wide mode-6 version sweep at time ``t``."""
         sample = OnpSample(t=t, mode=6)
         faults = self._faults
-        targets = host_pool.version_hosts
-        if faults is not None:
-            if faults.sample_outage(6, t):
-                sample.outage = True
-                return sample
-            cutoff = faults.sweep_cutoff(6, t)
-            if cutoff is not None:
-                sample.coverage = cutoff
-                targets = targets[: int(len(targets) * cutoff)]
-        for host in targets:
-            if not host.version_active(t):
+        active = self._sweep_targets(host_pool, 6, t, sample, faults)
+        if active is None:
+            return sample
+        src_ip = self._ip
+        server_for = self._state.server_for
+        # Pass 1 — render every active host's reply.  Version replies don't
+        # depend on monitor-table state (no sync needed) and are rendered
+        # without logging the probe: version-scan loss models the probe
+        # being filtered before it reaches the target, so a lost probe
+        # leaves no monitor-table trace (unlike monlist loss, which drops
+        # only the response of an already-recorded probe).
+        reply_memo = self._version_replies
+        repliers = []
+        for host in active:
+            entry = reply_memo.get(host.ip)
+            if entry is None:
+                server = server_for(host)
+                entry = (server, server.respond_version(src_ip, 50557, t, record=False))
+                reply_memo[host.ip] = entry
+            server, reply = entry
+            if reply is not None:
+                repliers.append((host, server, reply))
+        if not repliers:
+            return sample
+        # Same RNG-order contract as run_monlist_sample (pinned): loss is
+        # drawn AFTER reply generation, one draw per replying host, and the
+        # block draw equals len(repliers) scalar draws on the same stream.
+        # The surviving hosts' probes are then recorded in host order —
+        # each record touches only that host's own table, so batching the
+        # records after the draws mutates exactly the tables the
+        # interleaved ordering did, identically.
+        draws = rng.random(len(repliers))
+        loss = self._loss
+        captures = sample.captures
+        for (host, server, reply), u in zip(repliers, draws):
+            if u < loss:
                 continue
-            # Version replies don't depend on monitor-table state, so no
-            # table sync is needed.  The reply is rendered without logging
-            # the probe: version-scan loss models the probe being filtered
-            # before it reaches the target, so a lost probe leaves no
-            # monitor-table trace (unlike monlist loss, which drops only
-            # the response of an already-recorded probe).
-            server = self._state.server_for(host)
-            reply = server.respond_version(self._ip, 50557, t, record=False)
-            if reply is None:
-                continue
-            # Same RNG-order contract as run_monlist_sample (pinned): loss
-            # is drawn AFTER reply generation, one draw per replying host.
-            # A version-active host always replies, so this consumes draws
-            # for exactly the hosts the pre-reply ordering did — do not
-            # move the draw, it would shift every subsequent one.
-            if rng.random() < self._loss:
-                continue
-            server.record_client(self._ip, 50557, MODE_CONTROL, 2, t, packets=server.config.loop_factor)
-            sample.captures.append(
+            if server.config.monlist_enabled:
+                # The probe's monitor-table trace is observable only where
+                # the table can ever be rendered — monlist amplifiers.  A
+                # version-only server's table is write-only dead state, so
+                # recording there is skipped (no RNG involved; the world's
+                # observable bytes are identical).
+                server.record_client(src_ip, 50557, MODE_CONTROL, 2, t, packets=server.config.loop_factor)
+            captures.append(
                 ProbeCapture(
                     target_ip=host.ip,
                     t=t,

@@ -207,15 +207,25 @@ class NtpServer:
         whether a reply comes back depends on the server's configuration and
         on the implementation code probed — a build answers only its own.
         """
-        loop = self.config.loop_factor
-        self.record_client(src_ip, src_port, MODE_PRIVATE, 2, now, packets=loop)
+        self.record_client(src_ip, src_port, MODE_PRIVATE, 2, now, packets=self.config.loop_factor)
+        return self.monlist_reply(now, implementation)
+
+    def monlist_reply(self, now, implementation=IMPL_XNTPD):
+        """Render the monlist reply as of ``now`` without recording a probe.
+
+        The bulk sampler records every probe up front (ntpd monitors all
+        traffic regardless of response-path loss) and renders replies only
+        for the probes whose responses survive the loss draw; rendering is
+        a pure function of the table at ``now``, so deferring it past the
+        draw yields the same bytes :meth:`respond_monlist` would have.
+        """
         if not self.config.monlist_enabled:
             return None
         if implementation not in self.config.implementations:
             return None
         entry_version = _ENTRY_VERSION_OF_IMPL[implementation]
         packets = self.table.render_response_packets(now, entry_version, implementation)
-        return ProbeReply(packets=tuple(packets), n_repeats=loop)
+        return ProbeReply(packets=tuple(packets), n_repeats=self.config.loop_factor)
 
     def respond_version(self, src_ip, src_port, now, record=True):
         """Handle one mode-6 READVAR ("version") probe.

@@ -31,6 +31,7 @@ __all__ = [
     "Mode3Packet",
     "encode_mode7_request",
     "encode_mode7_response",
+    "encode_mode7_response_raw",
     "decode_mode7",
     "decode_mode7_stream",
     "encode_monitor_entry",
@@ -232,11 +233,42 @@ def encode_mode7_response(
     version=VN_NTPV2,
 ):
     """One mode-7 response packet carrying pre-encoded fixed-size items."""
-    if sequence > 127 or sequence < 0:
-        raise WireError("mode-7 sequence is a 7-bit field")
     data = b"".join(items)
     if item_size and len(data) != item_size * len(items):
         raise WireError("item byte length disagrees with item_size")
+    return encode_mode7_response_raw(
+        implementation,
+        request_code,
+        sequence,
+        more,
+        data,
+        len(items),
+        item_size,
+        err=err,
+        version=version,
+    )
+
+
+def encode_mode7_response_raw(
+    implementation,
+    request_code,
+    sequence,
+    more,
+    data,
+    n_items,
+    item_size,
+    err=0,
+    version=VN_NTPV2,
+):
+    """One mode-7 response packet from an already-encoded data area.
+
+    The bulk render path encodes a whole table into one contiguous blob and
+    slices per-packet data areas out of it; this frames such a slice with
+    the same header bytes :func:`encode_mode7_response` would produce for
+    the individual items.
+    """
+    if sequence > 127 or sequence < 0:
+        raise WireError("mode-7 sequence is a 7-bit field")
     byte0 = 0x80 | (0x40 if more else 0) | ((version & 0x07) << 3) | MODE_PRIVATE
     header = struct.pack(
         ">BBBBHH",
@@ -244,7 +276,7 @@ def encode_mode7_response(
         sequence & 0x7F,
         implementation & 0xFF,
         request_code & 0xFF,
-        ((err & 0x0F) << 12) | (len(items) & 0x0FFF),
+        ((err & 0x0F) << 12) | (n_items & 0x0FFF),
         item_size & 0x0FFF,
     )
     return header + data

@@ -43,6 +43,11 @@ class DnsResolverPool:
         self._rng = rng.child("dns-noise")
         self._peak = max(1000, int(peak_full * scale))
         self._noise_sigma = noise_sigma
+        # Survey noise comes from a stateful stream, so each *distinct*
+        # series request is memoized: re-rendering Fig 10 (in this process
+        # or a forked render worker) must yield the bytes of the first
+        # render, not a fresh draw.
+        self._series_cache = {}
 
     @property
     def peak(self):
@@ -58,13 +63,22 @@ class DnsResolverPool:
         return max(0, int(base * wobble))
 
     def weekly_series(self, start=DNS_PUBLICITY_START, n_weeks=64, noisy=True):
-        """``n_weeks`` weekly :class:`DnsSample` points from ``start``."""
+        """``n_weeks`` weekly :class:`DnsSample` points from ``start``.
+
+        Idempotent: repeated calls with the same arguments return the same
+        (cached) series instead of consuming further noise draws.
+        """
         if n_weeks < 1:
             raise ValueError("n_weeks must be >= 1")
-        return [
-            DnsSample(t=start + i * WEEK, count=self.count_at(start + i * WEEK, noisy=noisy))
-            for i in range(n_weeks)
-        ]
+        key = (start, n_weeks, noisy)
+        series = self._series_cache.get(key)
+        if series is None:
+            series = [
+                DnsSample(t=start + i * WEEK, count=self.count_at(start + i * WEEK, noisy=noisy))
+                for i in range(n_weeks)
+            ]
+            self._series_cache[key] = series
+        return series
 
     def overlap_with_monlist(self, monlist_hosts):
         """IPs shared between this pool and a monlist host collection.

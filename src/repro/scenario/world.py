@@ -125,24 +125,28 @@ class PaperWorld:
             lines.append(f"  {phase:<10} {seconds:8.2f}s  {100 * share:5.1f}%")
         return lines
 
-    def summary(self, include_timings=False):
+    def summary(self, include_timings=False, context=None):
         """A text digest of the study's headline findings for this world.
 
         ``include_timings`` appends per-phase build wall-clock lines; it is
         off by default so the summary stays a pure function of (seed,
-        params) — golden tests depend on that.
+        params) — golden tests depend on that.  ``context`` is an optional
+        shared :class:`~repro.analysis.AnalysisContext`; passing one lets
+        the CLI reuse this summary's corpus decode for later artifacts
+        (and vice versa) — the text is identical either way.
         """
         from repro.analysis import (
+            AnalysisContext,
             amplifier_counts,
-            analyze_dataset,
             churn_report,
-            parse_sample,
             peak_traffic_date,
             sample_baf_boxplot,
             version_sample_baf_boxplot,
         )
-        from repro.attack import ONP_PROBER_IP
         from repro.util.simtime import format_sim
+
+        if context is None:
+            context = AnalysisContext(self)
 
         lines = []
         lines.append(
@@ -160,7 +164,7 @@ class PaperWorld:
             )
         else:
             lines.append("NTP traffic fraction: (no data: collector recorded no days)")
-        parsed = [parse_sample(s) for s in self.onp.monlist_samples]
+        parsed = context.parsed_samples()
         rows = amplifier_counts(parsed, self.table, self.pbl)
         # Apparatus outages leave all-zero rows; the remediation headline is
         # computed between the first and last weeks that actually measured.
@@ -189,7 +193,7 @@ class PaperWorld:
             )
         else:
             lines.append("BAF: (no data: no parsed monlist or version samples)")
-        report = analyze_dataset(parsed, onp_ip=ONP_PROBER_IP)
+        report = context.victim_report()
         victims = report.all_victim_ips()
         lines.append(
             f"Victims observed: {len(victims)} "
