@@ -21,19 +21,37 @@ __all__ = ["EventValidation", "validate_ovh_event"]
 
 @dataclass(frozen=True)
 class EventValidation:
-    """§4.4's cross-dataset agreement figures."""
+    """§4.4's cross-dataset agreement figures.
+
+    Every field is well-defined on degraded inputs: an empty ONP corpus, a
+    disclosure with no amplifiers, or a target AS that never appears in the
+    victimology all yield zeros (and ``degraded`` is True) rather than a
+    division error — reachable under ``--faults hostile`` when sample
+    outages eat the event window.
+    """
 
     event_attacks: int
     disclosed_asns: int
     overlapping_asns: int
     victim_packet_share: float
+    #: 1-based rank of the target AS among victim ASes by packet count;
+    #: 0 when the target AS received no observed victim packets.
     target_as_rank: int
+    #: Distinct amplifier ASes seen anywhere in the ONP corpus (the
+    #: measurement side's denominator; 0 when the corpus is empty).
+    onp_asns: int = 0
 
     @property
     def asn_overlap_fraction(self):
         if self.disclosed_asns == 0:
             return 0.0
         return self.overlapping_asns / self.disclosed_asns
+
+    @property
+    def degraded(self):
+        """True when either side of the cross-check is missing, so the
+        agreement figures are vacuous rather than evidence."""
+        return self.disclosed_asns == 0 or self.onp_asns == 0 or self.target_as_rank == 0
 
 
 def validate_ovh_event(attacks, parsed_samples, concentration, table, target_asn):
@@ -82,4 +100,5 @@ def validate_ovh_event(attacks, parsed_samples, concentration, table, target_asn
         overlapping_asns=len(overlap),
         victim_packet_share=share,
         target_as_rank=rank,
+        onp_asns=len(onp_asns),
     )

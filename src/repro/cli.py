@@ -431,15 +431,23 @@ def _validate(ctx):
     result = validate_ovh_event(
         world.attacks, ctx.parsed_samples(), ctx.concentration(), world.table, ovh.asn
     )
-    return (
+    rank = str(result.target_as_rank) if result.target_as_rank else "- (AS unobserved)"
+    text = (
         "§4.4 cross-dataset validation (the OVH/CloudFlare event):\n"
         f"  event attacks on the hoster: {result.event_attacks}\n"
         f"  amplifier ASes in the event ('disclosed'): {result.disclosed_asns}\n"
         f"  ... also present in the ONP data: {result.overlapping_asns} "
         f"({100 * result.asn_overlap_fraction:.0f}%; paper: 1291/1297 = 99.5%)\n"
         f"  victim-packet share of overlapping ASes: {result.victim_packet_share:.2f} (paper: 0.60)\n"
-        f"  target AS victim rank: {result.target_as_rank} (paper: 1)"
+        f"  target AS victim rank: {rank} (paper: 1)"
     )
+    if result.degraded:
+        text += (
+            "\n  DEGRADED: one side of the cross-check is missing "
+            f"(disclosed ASes: {result.disclosed_asns}, ONP amplifier ASes: {result.onp_asns}, "
+            f"target rank: {result.target_as_rank}) — agreement figures are vacuous"
+        )
+    return text
 
 
 ARTIFACTS = {
@@ -688,6 +696,77 @@ def _quality(ctx):
     return 0 if report.ok else 1
 
 
+def _parse_list(text, convert, what):
+    values = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            values.append(convert(part))
+        except ValueError:
+            raise CliError(f"bad {what} {part!r} in {text!r}")
+    if not values:
+        raise CliError(f"no {what}s in {text!r}")
+    return values
+
+
+def _verify_world(args):
+    from repro.verify import run_conformance
+
+    seeds = _parse_list(args.seeds, int, "seed")
+    scales = _parse_list(args.scales, float, "scale")
+    faults = _parse_list(args.faults, str, "fault preset")
+    for name in faults:
+        try:
+            resolve_fault_profile(name)  # fail fast on typos, before any build
+        except KeyError as error:
+            raise CliError(str(error).strip("'\""))
+
+    def progress(message):
+        if not args.quiet:
+            print(f"[verify] {message}", file=sys.stderr)
+
+    report = run_conformance(seeds, scales, faults, progress=progress)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        progress(f"wrote {args.report}")
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _verify_manifest(args):
+    from repro.verify import (
+        build_manifest,
+        diff_manifest,
+        load_manifest,
+        write_manifest,
+    )
+
+    def progress(message):
+        if not args.quiet:
+            print(f"[manifest] {message}", file=sys.stderr)
+
+    current = build_manifest(progress=progress)
+    if args.write:
+        path = write_manifest(current, path=args.manifest)
+        print(f"wrote {path} ({len(current['worlds'])} golden worlds)")
+        return 0
+    try:
+        recorded = load_manifest(args.manifest)
+    except FileNotFoundError:
+        print(
+            f"error: no manifest at {args.manifest}; generate one with "
+            f"'python -m repro verify-manifest --write'",
+            file=sys.stderr,
+        )
+        return 2
+    ok, lines = diff_manifest(recorded, current)
+    print("\n".join(lines))
+    return 0 if ok else 1
+
+
 def _add_world_args(parser):
     parser.add_argument("--seed", type=int, default=2014)
     parser.add_argument("--scale", type=float, default=None, help="overrides --preset")
@@ -782,6 +861,34 @@ def main(argv=None):
     )
     _add_world_args(p_quality)
 
+    p_verify = subparsers.add_parser(
+        "verify-world",
+        help="run the registered conformance invariants over a seed x scale x fault matrix",
+    )
+    p_verify.add_argument("--seeds", default="7,2014,99", help="comma-separated seeds")
+    p_verify.add_argument("--scales", default="0.0005,0.001", help="comma-separated scales")
+    p_verify.add_argument(
+        "--faults",
+        default="clean,paper",
+        help=f"comma-separated fault presets ({', '.join(FAULT_PROFILES)})",
+    )
+    p_verify.add_argument(
+        "--report", default=None, metavar="JSON", help="write the machine-readable report here"
+    )
+    p_verify.add_argument("--quiet", action="store_true", default=False)
+
+    p_manifest = subparsers.add_parser(
+        "verify-manifest",
+        help="check rendered-artifact checksums against the golden manifest",
+    )
+    p_manifest.add_argument(
+        "--manifest", default="MANIFEST_golden.json", help="manifest path"
+    )
+    p_manifest.add_argument(
+        "--write", action="store_true", default=False, help="regenerate the manifest instead"
+    )
+    p_manifest.add_argument("--quiet", action="store_true", default=False)
+
     subparsers.add_parser("list", help="list artifacts and presets")
 
     args = parser.parse_args(argv)
@@ -799,6 +906,14 @@ def main(argv=None):
         return _bench_build(args)
     if args.command == "bench-pipeline":
         return _bench_pipeline(args)
+    if args.command == "verify-world":
+        try:
+            return _verify_world(args)
+        except CliError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.command == "verify-manifest":
+        return _verify_manifest(args)
 
     if args.command == "render":
         if args.all:

@@ -201,8 +201,12 @@ class PaperWorld:
             f"{report.total_attack_packets():.2e} packets, "
             f"undersampling {report.undersampling_factor():.1f}x (paper: 3.8x)"
         )
-        last = format_sim(self.onp.monlist_samples[-1].t)
-        lines.append(f"Window: {format_sim(self.onp.monlist_samples[0].t)} .. {last} (15 weekly samples)")
+        samples = self.onp.monlist_samples
+        if samples:
+            window = f"{format_sim(samples[0].t)} .. {format_sim(samples[-1].t)}"
+            lines.append(f"Window: {window} ({len(samples)} weekly samples)")
+        else:
+            lines.append("Window: (no data: the campaign recorded no monlist samples)")
         if include_timings:
             lines.extend(self.timing_summary())
         return "\n".join(lines)

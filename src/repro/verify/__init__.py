@@ -1,0 +1,47 @@
+"""The conformance subsystem: invariants, the metamorphic runner, and
+golden artifact manifests.
+
+``python -m repro verify-world`` runs the registered invariants over a
+seed x scale x fault matrix; ``python -m repro verify-manifest`` checks the
+golden byte-identity manifest.  See DESIGN.md §5 for the invariant
+catalogue and tolerances.
+"""
+
+from repro.verify.invariants import REGISTRY, Invariant, all_invariants, invariant
+from repro.verify.manifest import (
+    DEFAULT_MANIFEST_CELLS,
+    DEFAULT_MANIFEST_PATH,
+    artifact_checksums,
+    build_manifest,
+    diff_manifest,
+    load_manifest,
+    write_manifest,
+)
+from repro.verify.runner import (
+    Cell,
+    ConformanceReport,
+    InvariantOutcome,
+    WorldRecord,
+    default_builder,
+    run_conformance,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Invariant",
+    "all_invariants",
+    "invariant",
+    "Cell",
+    "ConformanceReport",
+    "InvariantOutcome",
+    "WorldRecord",
+    "default_builder",
+    "run_conformance",
+    "DEFAULT_MANIFEST_CELLS",
+    "DEFAULT_MANIFEST_PATH",
+    "artifact_checksums",
+    "build_manifest",
+    "diff_manifest",
+    "load_manifest",
+    "write_manifest",
+]

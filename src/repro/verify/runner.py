@@ -1,0 +1,361 @@
+"""The metamorphic-relation runner.
+
+Builds a (seed x scale x fault-preset) matrix of worlds, wraps each in a
+lazily-memoizing :class:`WorldRecord`, groups the records by invariant
+scope, evaluates every check in :data:`~repro.verify.invariants.REGISTRY`,
+and folds the outcomes into a :class:`ConformanceReport` — machine-readable
+(``as_dict``/``to_json``), human-readable (``render``), and judgeable
+(``ok`` is False iff an error-severity invariant was violated).
+
+A check that raises is not a crash of the harness: the exception is
+converted into a violation of that invariant (the harness's own contract is
+"the pipeline degrades, never crashes", so an analysis-layer exception is
+exactly the kind of bug the run exists to catch).
+"""
+
+import json
+from dataclasses import dataclass, field
+
+from repro.verify.invariants import all_invariants
+
+__all__ = [
+    "Cell",
+    "WorldRecord",
+    "InvariantOutcome",
+    "ConformanceReport",
+    "run_conformance",
+    "default_builder",
+]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the verification matrix."""
+
+    seed: int
+    scale: float
+    fault_name: str
+
+    def label(self):
+        return f"seed={self.seed} scale={self.scale:g} faults={self.fault_name}"
+
+
+def default_builder(cell):
+    """Build the world for a matrix cell (no cache: verification must
+    exercise the real construction path)."""
+    from repro.faults import resolve_fault_profile
+    from repro.scenario.world import PaperWorld, WorldParams
+
+    params = WorldParams(
+        seed=cell.seed,
+        scale=cell.scale,
+        faults=resolve_fault_profile(cell.fault_name),
+    )
+    return PaperWorld.build(params=params)
+
+
+class WorldRecord:
+    """A built world plus memoized derived views, keyed by matrix cell.
+
+    Everything expensive (corpus parse, victimology, quality accounting,
+    version demographics, the summary text) is computed at most once per
+    record no matter how many invariants consult it.
+    """
+
+    def __init__(self, cell, world):
+        self.cell = cell
+        self.world = world
+        from repro.analysis.context import AnalysisContext
+
+        self.ctx = AnalysisContext(world)
+        self._amp_rows = None
+        self._quality = None
+        self._version_report = None
+        self._summary_text = None
+        self._ip_union = None
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def seed(self):
+        return self.cell.seed
+
+    @property
+    def scale(self):
+        return self.cell.scale
+
+    @property
+    def fault_name(self):
+        return self.cell.fault_name
+
+    @property
+    def is_clean(self):
+        return self.world.params.faults.is_clean
+
+    # -- memoized views ----------------------------------------------------
+
+    def parsed(self):
+        return self.ctx.parsed_samples()
+
+    def victim_report(self):
+        return self.ctx.victim_report()
+
+    def concentration(self):
+        return self.ctx.concentration()
+
+    def amplifier_rows(self):
+        """Figure-3 rows, one per monlist sample (outage rows included)."""
+        if self._amp_rows is None:
+            from repro.analysis.remediation import amplifier_counts
+
+            self._amp_rows = amplifier_counts(
+                self.parsed(), self.world.table, self.world.pbl
+            )
+        return self._amp_rows
+
+    def measured_rows(self):
+        """Figure-3 rows where the sweep actually ran (outages excluded)."""
+        return [row for row in self.amplifier_rows() if not row.outage]
+
+    def unique_amplifier_ips(self):
+        return len(self.amplifier_ip_union())
+
+    def amplifier_ip_union(self):
+        if self._ip_union is None:
+            union = set()
+            for parsed in self.parsed():
+                union.update(parsed.amplifier_ips())
+            self._ip_union = frozenset(union)
+        return self._ip_union
+
+    def quality(self):
+        if self._quality is None:
+            from repro.analysis.quality import quality_report
+
+            self._quality = quality_report(self.world, parsed_samples=self.parsed())
+        return self._quality
+
+    def version_report(self):
+        if self._version_report is None:
+            from repro.analysis.versions import parse_version_captures
+
+            captures = [
+                c for s in self.world.onp.version_samples for c in s.captures
+            ]
+            self._version_report = parse_version_captures(captures)
+        return self._version_report
+
+    def summary_text(self):
+        if self._summary_text is None:
+            self._summary_text = self.world.summary()
+        return self._summary_text
+
+
+@dataclass
+class InvariantOutcome:
+    """One invariant evaluated against one group of records."""
+
+    name: str
+    scope: str
+    severity: str
+    #: Which matrix slice was judged (e.g. "seed=7 faults=clean" for a
+    #: scale-scope group, or a single cell label for world scope).
+    subject: str
+    #: "pass" | "fail" | "skip"
+    status: str
+    measured: dict = field(default_factory=dict)
+    violations: list = field(default_factory=list)
+
+    @property
+    def failed(self):
+        return self.status == "fail"
+
+    def as_dict(self):
+        return {
+            "invariant": self.name,
+            "scope": self.scope,
+            "severity": self.severity,
+            "subject": self.subject,
+            "status": self.status,
+            "measured": self.measured,
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """The full matrix run: every outcome, plus the verdict."""
+
+    cells: list = field(default_factory=list)
+    outcomes: list = field(default_factory=list)
+    invariants_run: int = 0
+
+    @property
+    def ok(self):
+        """True iff no error-severity invariant failed."""
+        return not self.violated()
+
+    def violated(self, include_warnings=False):
+        """Names of invariants with at least one failing outcome."""
+        names = []
+        for outcome in self.outcomes:
+            if not outcome.failed:
+                continue
+            if outcome.severity != "error" and not include_warnings:
+                continue
+            if outcome.name not in names:
+                names.append(outcome.name)
+        return names
+
+    def counts(self):
+        counts = {"pass": 0, "fail": 0, "skip": 0}
+        for outcome in self.outcomes:
+            counts[outcome.status] += 1
+        return counts
+
+    def as_dict(self):
+        return {
+            "ok": self.ok,
+            "invariants_registered": self.invariants_run,
+            "matrix": [
+                {"seed": c.seed, "scale": c.scale, "faults": c.fault_name}
+                for c in self.cells
+            ],
+            "counts": self.counts(),
+            "violated": self.violated(),
+            "violated_warnings": [
+                name
+                for name in self.violated(include_warnings=True)
+                if name not in self.violated()
+            ],
+            "outcomes": [outcome.as_dict() for outcome in self.outcomes],
+        }
+
+    def to_json(self):
+        return json.dumps(self.as_dict(), indent=2, sort_keys=False)
+
+    def render(self):
+        counts = self.counts()
+        lines = [
+            f"Conformance: {len(self.cells)} worlds, "
+            f"{self.invariants_run} invariants, "
+            f"{counts['pass']} pass / {counts['fail']} fail / {counts['skip']} skip",
+        ]
+        for outcome in self.outcomes:
+            if outcome.status != "fail":
+                continue
+            tag = "FAIL" if outcome.severity == "error" else "warn"
+            lines.append(f"  [{tag}] {outcome.name} ({outcome.subject})")
+            for violation in outcome.violations:
+                lines.append(f"         - {violation}")
+        lines.append("CONFORMANT" if self.ok else "NONCONFORMANT: " + ", ".join(self.violated()))
+        return "\n".join(lines)
+
+
+def _evaluate(inv, args, subject, outcomes):
+    """Run one check, converting raised exceptions into violations."""
+    try:
+        result = inv.check(*args, inv.tolerance)
+    except Exception as exc:  # noqa: BLE001 — a crashing check is a finding
+        outcomes.append(
+            InvariantOutcome(
+                name=inv.name,
+                scope=inv.scope,
+                severity=inv.severity,
+                subject=subject,
+                status="fail",
+                violations=[f"check raised {type(exc).__name__}: {exc}"],
+            )
+        )
+        return
+    if result is None:
+        status, measured, violations = "skip", {}, []
+    else:
+        measured = result.get("measured", {})
+        violations = result.get("violations", [])
+        status = "fail" if violations else "pass"
+    outcomes.append(
+        InvariantOutcome(
+            name=inv.name,
+            scope=inv.scope,
+            severity=inv.severity,
+            subject=subject,
+            status=status,
+            measured=measured,
+            violations=violations,
+        )
+    )
+
+
+def run_conformance(seeds, scales, faults, builder=None, progress=None):
+    """Build the matrix and evaluate every registered invariant.
+
+    Parameters
+    ----------
+    seeds, scales, faults:
+        The matrix axes.  ``faults`` are preset names ("clean", "paper",
+        "hostile"); fault-scope invariants need "clean" present to pair
+        against.
+    builder:
+        ``builder(cell) -> world`` override; tests inject deliberately
+        broken builders here to prove violations are caught and named.
+    progress:
+        Optional ``progress(message)`` callback for CLI feedback.
+    """
+    builder = builder or default_builder
+    say = progress or (lambda message: None)
+
+    cells = [
+        Cell(seed=seed, scale=scale, fault_name=fault)
+        for seed in seeds
+        for scale in scales
+        for fault in faults
+    ]
+    records = {}
+    for cell in cells:
+        say(f"building {cell.label()}")
+        records[cell] = WorldRecord(cell, builder(cell))
+
+    invariants = all_invariants()
+    report = ConformanceReport(cells=cells, invariants_run=len(invariants))
+    say(f"evaluating {len(invariants)} invariants over {len(cells)} worlds")
+
+    for inv in invariants:
+        if inv.scope == "world":
+            for cell in cells:
+                _evaluate(inv, (records[cell],), cell.label(), report.outcomes)
+        elif inv.scope == "scale":
+            for seed in seeds:
+                for fault in faults:
+                    group = sorted(
+                        (records[c] for c in cells if c.seed == seed and c.fault_name == fault),
+                        key=lambda record: record.scale,
+                    )
+                    if len(group) < 2:
+                        continue
+                    subject = f"seed={seed} faults={fault} scales={[r.scale for r in group]}"
+                    _evaluate(inv, (group,), subject, report.outcomes)
+        elif inv.scope == "seed":
+            for scale in scales:
+                for fault in faults:
+                    group = sorted(
+                        (records[c] for c in cells if c.scale == scale and c.fault_name == fault),
+                        key=lambda record: record.seed,
+                    )
+                    if len(group) < 2:
+                        continue
+                    subject = f"scale={scale:g} faults={fault} seeds={[r.seed for r in group]}"
+                    _evaluate(inv, (group,), subject, report.outcomes)
+        elif inv.scope == "fault":
+            for seed in seeds:
+                for scale in scales:
+                    clean = records.get(Cell(seed, scale, "clean"))
+                    if clean is None:
+                        continue
+                    for fault in faults:
+                        if fault == "clean":
+                            continue
+                        faulted = records[Cell(seed, scale, fault)]
+                        subject = f"seed={seed} scale={scale:g} clean-vs-{fault}"
+                        _evaluate(inv, (clean, faulted), subject, report.outcomes)
+    return report

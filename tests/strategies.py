@@ -1,0 +1,161 @@
+"""Shared Hypothesis strategies: one generator layer for every property test.
+
+Before this module each fuzz/property test module grew its own ad-hoc
+generators for the same domain objects (IPv4 addresses, mode-7 packet sets,
+monlist MRU event streams, survival anchors, ...).  They now live here so a
+widened range or a new edge case benefits every consumer at once, and so
+new tests (the conformance harness's own fuzzing included) don't re-invent
+them.
+
+Everything exported is either a Hypothesis ``SearchStrategy`` or a small
+deterministic helper for building canonical wire fixtures.
+"""
+
+from hypothesis import strategies as st
+
+from repro.measurement.onp import ProbeCapture
+from repro.net import Prefix
+from repro.ntp import MonlistTable
+from repro.ntp.constants import IMPL_XNTPD
+from repro.ntp.wire import MonitorEntry
+from repro.util.simtime import DAY
+
+__all__ = [
+    "ips",
+    "ports",
+    "prefixes",
+    "udp_payload_sizes",
+    "binary_blobs",
+    "entry_versions",
+    "monitor_entries",
+    "monlist_events",
+    "survival_anchor_lists",
+    "timeline_points",
+    "attack_specs",
+    "poll_bounds",
+    "world_seeds",
+    "world_scales",
+    "fault_preset_names",
+    "build_packets",
+    "capture_of",
+    "BASE_PACKET_SETS",
+]
+
+# -- network primitives --------------------------------------------------------
+
+#: Any IPv4 address as a host-order integer.
+ips = st.integers(min_value=0, max_value=2**32 - 1)
+
+#: Any UDP port.
+ports = st.integers(min_value=0, max_value=65535)
+
+#: Any IPv4 prefix (the /0 default route is excluded, as the routing plan
+#: never carries one).
+prefixes = st.builds(
+    Prefix,
+    ips,
+    st.integers(min_value=1, max_value=32),
+)
+
+#: UDP payload sizes up to an un-fragmented 1500-MTU datagram.
+udp_payload_sizes = st.integers(min_value=0, max_value=1472)
+
+#: Raw bytes in the size range of real mode-7 datagrams (for feeding
+#: decoders garbage).
+binary_blobs = st.binary(min_size=0, max_size=400)
+
+# -- NTP wire objects ----------------------------------------------------------
+
+#: Monlist entry wire versions (v1 = 32-byte, v2 = 72-byte entries).
+entry_versions = st.sampled_from([1, 2])
+
+#: Any in-range mode-7 monitor entry (the encode/decode round-trip domain).
+monitor_entries = st.builds(
+    MonitorEntry,
+    last_int=ips,  # 32-bit seconds field, same range as an address
+    first_int=ips,
+    count=ips,
+    addr=ips,
+    daddr=st.just(0),
+    flags=st.just(0),
+    port=ports,
+    mode=st.integers(min_value=0, max_value=7),
+    version=st.integers(min_value=1, max_value=4),
+    restr=st.just(0),
+)
+
+#: (addr, time) event streams for exercising the monlist MRU table.
+monlist_events = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=50),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def build_packets(n_clients, now=1000.0):
+    """A canonical clean mode-7 response: ``n_clients`` distinct entries
+    rendered into the real multi-packet wire format."""
+    table = MonlistTable(capacity=600)
+    for i in range(n_clients):
+        table.record(1000 + i, 123, 3, 4, now=float(i))
+    return tuple(table.render_response_packets(now, 2, IMPL_XNTPD))
+
+
+def capture_of(packets, target_ip=42, t=1000.0):
+    """Wrap raw packets as a :class:`ProbeCapture` (the parser's input)."""
+    return ProbeCapture(target_ip=target_ip, t=t, packets=tuple(packets), n_repeats=1)
+
+
+#: Clean baseline packet sets by client count — the corpus the mutation
+#: fuzzers (bit flips, drops, reorders, duplicates) start from.
+BASE_PACKET_SETS = {n: build_packets(n) for n in (1, 4, 20, 40)}
+
+# -- analysis-domain values ----------------------------------------------------
+
+#: Monotone-decreasing survival fractions (remediation curve anchors).
+survival_anchor_lists = st.lists(
+    st.floats(min_value=0.01, max_value=1.0, allow_nan=False), min_size=2, max_size=8
+).map(lambda vs: sorted(vs, reverse=True))
+
+#: Sorted, deduplicated (t, value) anchor lists for Timeline interpolation.
+timeline_points = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=8,
+    unique_by=lambda p: round(p[0], 3),
+).map(lambda ps: sorted(ps))
+
+#: (start, duration, target_bps) triples for synthetic attacks.
+attack_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20 * DAY, allow_nan=False),
+        st.floats(min_value=1.0, max_value=3 * DAY, allow_nan=False),
+        st.floats(min_value=1e3, max_value=1e9, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+#: (start, width, poll_interval) windows for client-poll-count properties.
+poll_bounds = st.tuples(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+    st.floats(min_value=10.0, max_value=5000.0, allow_nan=False),
+)
+
+# -- world parameters ----------------------------------------------------------
+
+#: Seeds in the range the conformance matrix and golden tests use.
+world_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+#: Scales small enough that a property test could afford to build a world.
+world_scales = st.sampled_from([0.0002, 0.0004, 0.0005, 0.0008, 0.001])
+
+#: The registered fault presets.
+fault_preset_names = st.sampled_from(["clean", "paper", "hostile"])

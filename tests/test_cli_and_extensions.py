@@ -134,6 +134,42 @@ def test_ovh_validation_empty():
     result = validate_ovh_event([], [], empty, FakeTable(), target_asn=1)
     assert result.event_attacks == 0
     assert result.asn_overlap_fraction == 0.0
+    assert result.onp_asns == 0
+    assert result.target_as_rank == 0
+    assert result.degraded
+
+
+def test_ovh_validation_empty_onp_corpus(world, victim_report):
+    """An ONP corpus eaten by sample outages (reachable under hostile
+    faults): the disclosure side exists, the measurement side is empty, and
+    every figure is well-defined rather than a crash or a division."""
+    from repro.analysis import as_concentration
+    from repro.analysis.validation import validate_ovh_event
+
+    concentration = as_concentration(victim_report, world.table)
+    ovh = world.registry.special["HOSTING-FR-1"]
+    result = validate_ovh_event(world.attacks, [], concentration, world.table, ovh.asn)
+    assert result.disclosed_asns > 0
+    assert result.onp_asns == 0
+    assert result.overlapping_asns == 0
+    assert result.asn_overlap_fraction == 0.0
+    assert result.degraded
+
+
+def test_ovh_validation_target_as_absent(world, parsed_monlist, victim_report):
+    """A target AS that never shows up in the victimology gets rank 0 (not
+    None, not a crash) and marks the result degraded."""
+    from repro.analysis import as_concentration
+    from repro.analysis.validation import validate_ovh_event
+
+    concentration = as_concentration(victim_report, world.table)
+    absent_asn = max(concentration.victim_as_packets, default=0) + 10_000
+    result = validate_ovh_event(
+        world.attacks, parsed_monlist, concentration, world.table, absent_asn
+    )
+    assert result.event_attacks == 0
+    assert result.target_as_rank == 0
+    assert result.degraded
 
 
 # -- CLI plumbing ------------------------------------------------------------------

@@ -1,0 +1,110 @@
+"""Direct tests for the graceful-degradation rendering paths: figure gap
+markers and ``world.summary()`` over empty/degraded datasets (previously
+asserted only indirectly through the chaos sweep)."""
+
+import copy
+
+from repro.reporting.figures import GAP_CHAR, ascii_bars, ascii_chart, sparkline
+
+
+# -- sparkline gap markers -----------------------------------------------------
+
+
+def test_sparkline_renders_gaps_distinct_from_zero():
+    line = sparkline([0.0, None, 5.0, None, 10.0])
+    assert line[1] == GAP_CHAR and line[3] == GAP_CHAR
+    assert line[0] == " "  # a zero is blank, not a gap
+    assert line[4] != GAP_CHAR
+
+
+def test_sparkline_all_gaps():
+    assert sparkline([None, None, None]) == GAP_CHAR * 3
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_downsampling_preserves_gap_only_chunks():
+    # 4 values into width 2: chunk [None, None] must stay a gap, the chunk
+    # with a real value must show it.
+    line = sparkline([None, None, 3.0, 9.0], width=2)
+    assert len(line) == 2
+    assert line[0] == GAP_CHAR
+    assert line[1] != GAP_CHAR
+
+
+# -- ascii_chart gap markers ---------------------------------------------------
+
+
+def test_ascii_chart_marks_gap_columns_and_counts_them():
+    series = [(0, 1.0), (1, None), (2, 4.0), (3, None), (4, 2.0)]
+    chart = ascii_chart(series, height=4, width=5)
+    assert GAP_CHAR in chart
+    assert f"{GAP_CHAR} = no data: 2 gap column(s)" in chart
+
+
+def test_ascii_chart_all_gaps_degrades_to_message():
+    assert ascii_chart([(0, None), (1, None)]) == "(no data: all points are measurement gaps)"
+
+
+def test_ascii_chart_empty_series():
+    assert ascii_chart([]) == "(empty series)"
+
+
+def test_ascii_chart_log_axis_with_gaps_does_not_crash():
+    series = [(0, 1e-5), (1, None), (2, 1e-2)]
+    chart = ascii_chart(series, height=4, width=3, log=True)
+    assert GAP_CHAR in chart
+
+
+def test_ascii_bars_empty():
+    assert ascii_bars([]) == "(no data)"
+
+
+# -- world.summary() on degraded datasets --------------------------------------
+
+
+def _degraded_copy(world, *, no_monlist=False, no_versions=False, no_arbor=False):
+    """A shallow world copy with selected datasets emptied — simulating an
+    apparatus that recorded nothing, without rebuilding anything."""
+    degraded = copy.copy(world)
+    degraded.onp = copy.copy(world.onp)
+    if no_monlist:
+        degraded.onp.monlist_samples = []
+    if no_versions:
+        degraded.onp.version_samples = []
+    if no_arbor:
+        degraded.arbor = copy.copy(world.arbor)
+        degraded.arbor.daily = []
+    return degraded
+
+
+def test_summary_survives_empty_monlist_corpus(world):
+    degraded = _degraded_copy(world, no_monlist=True)
+    text = degraded.summary()
+    assert "Amplifier pool: (no data" in text
+    assert "Window: (no data" in text
+    assert "Unique amplifier IPs: 0" in text
+
+
+def test_summary_survives_everything_empty(world):
+    degraded = _degraded_copy(world, no_monlist=True, no_versions=True, no_arbor=True)
+    text = degraded.summary()
+    assert "NTP traffic fraction: (no data" in text
+    assert "BAF: (no data" in text
+    assert "Window: (no data" in text
+    # The ground-truth headline still renders (it needs no measurements).
+    assert "host records" in text
+
+
+def test_summary_window_line_counts_samples(world):
+    text = world.summary()
+    assert f"({len(world.onp.monlist_samples)} weekly samples)" in text
+
+
+def test_summary_on_clean_world_reports_all_sections(world):
+    text = world.summary()
+    for marker in ("NTP traffic fraction:", "Amplifier pool:", "BAF:", "Victims observed:", "Window:"):
+        assert marker in text
+    assert "(no data" not in text

@@ -1,10 +1,11 @@
 """Tests for on-wire byte accounting (§3.2's BAF arithmetic)."""
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given
 
 from repro.net import MIN_ONWIRE_FRAME, on_wire_bytes, udp_datagram_bytes
 from repro.net.framing import frame_bytes, on_wire_total
+from tests.strategies import udp_payload_sizes
 
 
 def test_minimum_on_wire_is_84():
@@ -41,7 +42,7 @@ def test_on_wire_total():
     assert on_wire_total([]) == 0
 
 
-@given(st.integers(min_value=0, max_value=1472))
+@given(udp_payload_sizes)
 def test_on_wire_monotone_and_bounded(payload):
     cost = on_wire_bytes(payload)
     assert cost >= 84

@@ -4,8 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.net import Prefix, format_ip, ip_in_prefix, parse_ip, slash24_of
-
-ips = st.integers(min_value=0, max_value=2**32 - 1)
+from tests.strategies import ips
 
 
 def test_parse_format_known_values():

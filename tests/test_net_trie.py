@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.net import Prefix, PrefixTrie, parse_ip
+from tests.strategies import ips, prefixes
 
 
 def test_empty_trie():
@@ -62,14 +63,7 @@ def test_items_sorted():
     assert [str(p) for p, _ in items] == ["10.0.0.0/8", "10.128.0.0/9", "20.0.0.0/8"]
 
 
-prefix_strategy = st.builds(
-    Prefix,
-    st.integers(min_value=0, max_value=2**32 - 1),
-    st.integers(min_value=1, max_value=32),
-)
-
-
-@given(st.lists(prefix_strategy, min_size=1, max_size=30), st.integers(0, 2**32 - 1))
+@given(st.lists(prefixes, min_size=1, max_size=30), ips)
 def test_lpm_matches_linear_scan(prefixes, ip):
     """Property: trie LPM equals a brute-force longest-match scan."""
     trie = PrefixTrie()

@@ -1,7 +1,7 @@
 """Tests for client poll aggregation and system-variable parsing."""
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given
 
 from repro.ntp import (
     ClientProfile,
@@ -12,6 +12,7 @@ from repro.ntp import (
     render_system_variables,
     sync_background_clients,
 )
+from tests.strategies import poll_bounds
 
 
 def test_render_and_parse_round_trip():
@@ -61,13 +62,10 @@ def test_client_profile_last_poll_before():
     assert profile.last_poll_before(1250.0) == 1200.0
 
 
-@given(
-    st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
-    st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
-    st.floats(min_value=10.0, max_value=5000.0, allow_nan=False),
-)
-def test_polls_between_is_additive(start, width, interval):
+@given(poll_bounds)
+def test_polls_between_is_additive(bounds):
     """Property: polls over [a,c] = polls over [a,b] + polls over [b,c]."""
+    start, width, interval = bounds
     profile = ClientProfile(ip=1, port=123, poll_interval=interval, first_poll=500.0)
     mid = start + width / 2
     end = start + width

@@ -1,10 +1,11 @@
 """Tests for the monlist MRU table, including property-based invariants."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.ntp import MONLIST_CAPACITY, MonlistTable, decode_mode7
 from repro.ntp.constants import IMPL_XNTPD, IMPL_XNTPD_OLD, REQ_MON_GETLIST, REQ_MON_GETLIST_1
+from tests.strategies import monlist_events
 
 
 def test_record_and_len():
@@ -138,16 +139,7 @@ def test_sequence_wraps_at_128():
 
 
 @settings(max_examples=50)
-@given(
-    st.lists(
-        st.tuples(
-            st.integers(min_value=1, max_value=50),  # addr
-            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),  # time
-        ),
-        min_size=1,
-        max_size=200,
-    )
-)
+@given(monlist_events)
 def test_mru_invariants(events):
     """Properties: render order is by recency, counts sum to events, and the
     render never exceeds capacity."""

@@ -24,6 +24,7 @@ from repro.ntp import (
 )
 from repro.ntp.constants import CTL_OP_READVAR, MON_ENTRY_V1_SIZE, MON_ENTRY_V2_SIZE
 from repro.ntp.wire import MonitorEntry, decode_monitor_entries, encode_monitor_entry
+from tests.strategies import entry_versions, ips, ports
 
 
 def make_entry(**overrides):
@@ -175,14 +176,7 @@ def test_mode_of_empty():
         mode_of(b"")
 
 
-@given(
-    st.integers(min_value=0, max_value=2**32 - 1),
-    st.integers(min_value=0, max_value=2**32 - 1),
-    st.integers(min_value=0, max_value=2**32 - 1),
-    st.integers(min_value=0, max_value=65535),
-    st.integers(min_value=0, max_value=7),
-    st.sampled_from([1, 2]),
-)
+@given(ips, ips, ips, ports, st.integers(min_value=0, max_value=7), entry_versions)
 def test_entry_round_trip_property(last_int, first_int, count, port, mode, entry_version):
     """Property: any in-range entry survives an encode/decode round trip."""
     entry = MonitorEntry(

@@ -42,6 +42,20 @@ def test_golden_summary_unchanged(golden_world):
     assert golden_world.summary() == GOLDEN_SUMMARY
 
 
+def test_golden_manifest_matches_seed7(golden_world):
+    """The checked-in golden manifest IS the byte-identity claim: every
+    artifact rendered from the seed-7 golden world must hash to what
+    MANIFEST_golden.json records."""
+    from pathlib import Path
+
+    from repro.verify import artifact_checksums, load_manifest
+
+    recorded = load_manifest(Path(__file__).resolve().parent.parent / "MANIFEST_golden.json")
+    [entry] = [w for w in recorded["worlds"] if w["seed"] == GOLDEN_SEED]
+    assert entry["scale"] == GOLDEN_SCALE and entry["faults"] == "clean"
+    assert artifact_checksums(golden_world) == entry["checksums"]
+
+
 def test_summary_excludes_timings_by_default(golden_world):
     """Timings are wall-clock (non-deterministic) and must stay out of the
     default summary so it remains a pure function of (seed, params)."""

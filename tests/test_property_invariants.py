@@ -9,13 +9,10 @@ from repro.measurement.arbor import ArborCollector
 from repro.population.remediation import SurvivalCurve
 from repro.util import RngStream, Timeline
 from repro.util.simtime import DAY
+from tests.strategies import attack_specs, survival_anchor_lists, timeline_points
 
 
 # -- survival curves --------------------------------------------------------------
-
-survival_anchor_lists = st.lists(
-    st.floats(min_value=0.01, max_value=1.0, allow_nan=False), min_size=2, max_size=8
-).map(lambda vs: sorted(vs, reverse=True))
 
 
 @given(survival_anchor_lists, st.floats(min_value=0.011, max_value=0.999))
@@ -49,18 +46,7 @@ def test_survival_monotone(values, t):
 # -- timelines --------------------------------------------------------------
 
 
-@given(
-    st.lists(
-        st.tuples(
-            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
-            st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
-        ),
-        min_size=2,
-        max_size=8,
-        unique_by=lambda p: round(p[0], 3),
-    ).map(lambda ps: sorted(ps)),
-    st.floats(min_value=-1e5, max_value=1.1e6, allow_nan=False),
-)
+@given(timeline_points, st.floats(min_value=-1e5, max_value=1.1e6, allow_nan=False))
 def test_timeline_within_envelope(points, t):
     """Property: interpolation stays within the min/max of anchor values."""
     times = [p[0] for p in points]
@@ -89,17 +75,7 @@ class _FakeAttack:
 
 
 @settings(max_examples=40)
-@given(
-    st.lists(
-        st.tuples(
-            st.floats(min_value=0.0, max_value=20 * DAY, allow_nan=False),
-            st.floats(min_value=1.0, max_value=3 * DAY, allow_nan=False),
-            st.floats(min_value=1e3, max_value=1e9, allow_nan=False),
-        ),
-        min_size=0,
-        max_size=12,
-    )
-)
+@given(attack_specs)
 def test_attack_byte_integration_conserves_volume(specs):
     """Property: per-day integration conserves each attack's total bytes
     (modulo the fixed 4% query-direction overhead)."""

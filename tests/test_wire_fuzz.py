@@ -12,28 +12,16 @@ from hypothesis import strategies as st
 
 from repro.analysis import reconstruct_table, reconstruct_table_lenient
 from repro.analysis.monlist_parse import ParseStats
-from repro.measurement.onp import ProbeCapture
-from repro.ntp import MonlistTable, WireError
-from repro.ntp.constants import IMPL_XNTPD
+from repro.ntp import WireError
 from repro.ntp.wire import decode_mode7, decode_mode7_stream
-
-
-def build_packets(n_clients, now=1000.0):
-    table = MonlistTable(capacity=600)
-    for i in range(n_clients):
-        table.record(1000 + i, 123, 3, 4, now=float(i))
-    return tuple(table.render_response_packets(now, 2, IMPL_XNTPD))
-
-
-def capture_of(packets):
-    return ProbeCapture(target_ip=42, t=1000.0, packets=tuple(packets), n_repeats=1)
+from tests.strategies import BASE_PACKET_SETS, binary_blobs, capture_of
 
 
 def entry_keys(table):
     return {(e.addr, e.count, e.last_int, e.first_int) for e in table.entries}
 
 
-_BASE = {n: build_packets(n) for n in (1, 4, 20, 40)}
+_BASE = BASE_PACKET_SETS
 _BASE_ENTRIES = {
     n: entry_keys(reconstruct_table(capture_of(p))) for n, p in _BASE.items()
 }
@@ -42,7 +30,7 @@ _BASE_ENTRIES = {
 # -- raw decoder never raises anything but WireError ---------------------------
 
 
-@given(st.binary(min_size=0, max_size=400))
+@given(binary_blobs)
 @settings(max_examples=200, deadline=None)
 def test_decode_mode7_raises_only_wireerror(blob):
     try:
