@@ -29,12 +29,15 @@ from repro.analysis.monlist_parse import (
     ParsedSample,
     ParseStats,
     ReconstructedTable,
+    add_parse_calls,
     parse_call_count,
     parse_corpus,
     parse_sample,
     reconstruct_table,
+    reconstruct_table_fast,
     reconstruct_table_lenient,
 )
+from repro.analysis.parse_cache import load_or_parse_corpus
 from repro.analysis.quality import QualityReport, ReconciliationCheck, quality_report
 from repro.analysis.remediation import (
     AmplifierCountRow,
@@ -86,11 +89,14 @@ __all__ = [
     "ParsedSample",
     "ParseStats",
     "ReconstructedTable",
+    "add_parse_calls",
     "parse_call_count",
     "parse_corpus",
     "parse_sample",
     "reconstruct_table",
+    "reconstruct_table_fast",
     "reconstruct_table_lenient",
+    "load_or_parse_corpus",
     "QualityReport",
     "ReconciliationCheck",
     "quality_report",

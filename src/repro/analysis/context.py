@@ -21,7 +21,7 @@ parses *this context* triggered, and the module-level counter in
 tests pin the parse-once contract on both.
 """
 
-from repro.analysis.monlist_parse import parse_corpus
+from repro.analysis.parse_cache import load_or_parse_corpus
 
 __all__ = ["AnalysisContext"]
 
@@ -46,13 +46,19 @@ class AnalysisContext:
         self._victim_report = None
         self._concentration = None
         self._responder_sets = None
+        self._version_report = None
 
     def parsed_samples(self):
-        """The parsed monlist corpus (one decode, ever, per context)."""
+        """The parsed monlist corpus (one decode, ever, per context).
+
+        When a parsed-corpus cache directory is configured (the
+        ``REPRO_PARSE_CACHE`` environment variable), a hit skips the
+        decode entirely — visible here as ``parse_calls`` staying at 0.
+        """
         if self._parsed is None:
             samples = self.world.onp.monlist_samples
-            self._parsed = parse_corpus(samples, jobs=self.jobs)
-            self.parse_calls += len(samples)
+            self._parsed, n_parses = load_or_parse_corpus(samples, jobs=self.jobs)
+            self.parse_calls += n_parses
         return self._parsed
 
     def victim_report(self):
@@ -71,6 +77,22 @@ class AnalysisContext:
 
             self._concentration = as_concentration(self.victim_report(), self.world.table)
         return self._concentration
+
+    def version_report(self):
+        """The §3.3 version-probe report over all mode-6 captures.
+
+        The regex-heavy system-variable parse is the most expensive
+        non-monlist analysis; Table 2 and the conformance invariants both
+        consume it, so it is memoized here like the monlist corpus.
+        """
+        if self._version_report is None:
+            from repro.analysis.versions import parse_version_captures
+
+            captures = [
+                c for s in self.world.onp.version_samples for c in s.captures
+            ]
+            self._version_report = parse_version_captures(captures)
+        return self._version_report
 
     def responder_ip_sets(self):
         """Per-monlist-sample responder-IP sets, in sample order.

@@ -99,29 +99,59 @@ class VersionReport:
         return sub
 
 
+#: Memo sentinel for packet tuples that failed to decode.
+_UNPARSEABLE = object()
+
+
+def _parse_one_version_capture(packets):
+    """Parse one capture's packets into IP-independent record fields.
+
+    Returns ``(os_family, system, stratum, compile_year)`` or
+    ``_UNPARSEABLE``.  Split out so the corpus loop can memoize on the
+    packet tuple: a server's reply bytes are identical across weekly
+    sweeps (and the apparatus reuses the reply object), so a corpus with
+    N captures typically has far fewer distinct payloads than captures.
+    """
+    try:
+        fragments = sorted((decode_mode6(p) for p in packets), key=lambda p: p.offset)
+    except WireError:
+        return _UNPARSEABLE
+    payload = b"".join(f.data for f in fragments)
+    variables = parse_system_variables(payload)
+    system = variables.get("system", "")
+    try:
+        stratum = int(variables.get("stratum", "-1"))
+    except ValueError:
+        stratum = -1
+    return (
+        os_family_of(system),
+        system,
+        stratum,
+        extract_compile_year(variables.get("version")),
+    )
+
+
 def parse_version_captures(captures):
     """Parse raw mode-6 captures (deduplicating by IP, last write wins)."""
     by_ip = {}
+    # Keyed by the packets tuple *value*, so the memo entry deliberately
+    # carries no IP — two servers with byte-identical replies share one
+    # parse but still get their own records.
+    memo = {}
     for capture in captures:
-        try:
-            fragments = sorted(
-                (decode_mode6(p) for p in capture.packets), key=lambda p: p.offset
-            )
-        except WireError:
+        packets = capture.packets
+        fields = memo.get(packets)
+        if fields is None:
+            fields = memo[packets] = _parse_one_version_capture(packets)
+        if fields is _UNPARSEABLE:
             continue
-        payload = b"".join(f.data for f in fragments)
-        variables = parse_system_variables(payload)
-        system = variables.get("system", "")
-        try:
-            stratum = int(variables.get("stratum", "-1"))
-        except ValueError:
-            stratum = -1
+        os_family, system, stratum, compile_year = fields
         by_ip[capture.target_ip] = VersionRecord(
             ip=capture.target_ip,
-            os_family=os_family_of(system),
+            os_family=os_family,
             system=system,
             stratum=stratum,
-            compile_year=extract_compile_year(variables.get("version")),
+            compile_year=compile_year,
         )
     report = VersionReport()
     report.records = list(by_ip.values())

@@ -351,12 +351,10 @@ def _table1(ctx):
 
 
 def _table2(ctx):
-    from repro.analysis import parse_version_captures
     from repro.reporting import render_table2
 
     world = ctx.world
-    captures = [c for s in world.onp.version_samples for c in s.captures]
-    report = parse_version_captures(captures)
+    report = ctx.version_report()
     amplifier_ips = {h.ip for h in world.hosts.monlist_hosts}
     mega_ips = {h.ip for h in world.hosts.mega_hosts()}
     non_amp = report.restrict_to({r.ip for r in report.records} - amplifier_ips)
@@ -504,7 +502,7 @@ def _render_in_worker(artifact_id):
     return render_artifact(_WORKER_CONTEXT.world, artifact_id, context=_WORKER_CONTEXT)
 
 
-def render_many(world, artifact_ids, jobs=1, context=None):
+def render_many(world, artifact_ids, jobs=1, context=None, stats=None):
     """Render several artifacts, optionally over a process pool.
 
     Returns the rendered texts in the order requested — never completion
@@ -514,11 +512,32 @@ def render_many(world, artifact_ids, jobs=1, context=None):
     and workers inherit the parsed state copy-on-write, keeping the
     parse-once contract across the whole pool.  Where fork is unavailable
     the serial path runs instead, with identical output.
+
+    ``stats``, when given, is a dict filled with pool diagnostics:
+    whether the pool engaged, how many workers and tasks it ran, how many
+    CPUs the host exposes, and — when the pool did *not* engage — why.
+    ``bench-pipeline`` reports these so a no-op parallel phase is
+    explainable from the benchmark record alone.
     """
     global _WORKER_CONTEXT
     ids = [artifact_id.upper() for artifact_id in artifact_ids]
     ctx = context if context is not None else AnalysisContext(world, jobs=jobs)
-    if jobs > 1 and len(ids) > 1:
+    if stats is None:
+        stats = {}
+    stats.update(
+        {
+            "pool_engaged": False,
+            "workers": 0,
+            "tasks": len(ids),
+            "cpu_count": os.cpu_count(),
+            "reason": None,
+        }
+    )
+    if jobs <= 1:
+        stats["reason"] = "jobs <= 1: serial path requested"
+    elif len(ids) <= 1:
+        stats["reason"] = "single task: nothing to parallelize"
+    else:
         import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
 
@@ -526,13 +545,15 @@ def render_many(world, artifact_ids, jobs=1, context=None):
             mp_context = multiprocessing.get_context("fork")
         except ValueError:
             mp_context = None
-        if mp_context is not None:
+        if mp_context is None:
+            stats["reason"] = "fork start method unavailable on this platform"
+        else:
             ctx.warm()
+            workers = min(jobs, len(ids))
+            stats.update({"pool_engaged": True, "workers": workers})
             _WORKER_CONTEXT = ctx
             try:
-                with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(ids)), mp_context=mp_context
-                ) as pool:
+                with ProcessPoolExecutor(max_workers=workers, mp_context=mp_context) as pool:
                     return list(pool.map(_render_in_worker, ids))
             finally:
                 _WORKER_CONTEXT = None
@@ -642,8 +663,9 @@ def _bench_pipeline(args):
     serial = [render_artifact(world, artifact_id, context=context) for artifact_id in ids]
     serial_seconds = perf_counter() - start
 
+    pool_stats = {}
     start = perf_counter()
-    parallel = render_many(world, ids, jobs=args.jobs, context=context)
+    parallel = render_many(world, ids, jobs=args.jobs, context=context, stats=pool_stats)
     parallel_seconds = perf_counter() - start
 
     identical = serial == parallel
@@ -662,6 +684,7 @@ def _bench_pipeline(args):
                 "render_serial": round(serial_seconds, 4),
                 "render_parallel": round(parallel_seconds, 4),
             },
+            "render_pool": pool_stats,
         }
     )
     with open(args.out, "w") as handle:
@@ -670,13 +693,102 @@ def _bench_pipeline(args):
     print(f"Pipeline: {total:.2f}s wall clock ({len(ids)} artifacts, jobs={args.jobs})")
     for phase, seconds in record["phases"].items():
         print(f"  {phase:<16} {seconds:8.2f}s")
+    if pool_stats.get("pool_engaged"):
+        print(
+            f"  (render pool: {pool_stats['workers']} workers, "
+            f"{pool_stats['tasks']} tasks, host has {pool_stats['cpu_count']} CPUs)"
+        )
+    else:
+        print(f"  (render pool not engaged: {pool_stats.get('reason')})")
     print(f"(wrote {args.out})")
     if not identical:
         print("FAIL: parallel render output differs from serial", file=sys.stderr)
         return 1
+    if args.max_parse_seconds is not None and parse_seconds > args.max_parse_seconds:
+        print(
+            f"FAIL: parse phase took {parse_seconds:.2f}s > ceiling "
+            f"{args.max_parse_seconds:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
     if args.max_seconds is not None and total > args.max_seconds:
         print(
             f"FAIL: pipeline took {total:.2f}s > ceiling {args.max_seconds:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _bench_verify(args):
+    """Time the conformance matrix, write a BENCH_verify.json record.
+
+    The verify-world analogue of ``bench-pipeline``: runs the full
+    invariant matrix at ``--jobs`` workers, records wall clock, matrix
+    shape, pool facts, and outcome counts, and optionally enforces a
+    wall-clock ceiling (CI regression gate).  Exit 1 when the matrix is
+    nonconformant or over budget.
+    """
+    from time import perf_counter
+
+    from repro.verify import run_conformance
+
+    seeds = _parse_list(args.seeds, int, "seed")
+    scales = _parse_list(args.scales, float, "scale")
+    faults = _parse_list(args.faults, str, "fault preset")
+    for name in faults:
+        try:
+            resolve_fault_profile(name)
+        except KeyError as error:
+            raise CliError(str(error).strip("'\""))
+
+    def progress(message):
+        if not args.quiet:
+            print(f"[bench-verify] {message}", file=sys.stderr)
+
+    start = perf_counter()
+    report = run_conformance(seeds, scales, faults, progress=progress, jobs=args.jobs)
+    total = perf_counter() - start
+
+    import platform
+    import time as _time
+
+    from repro import __version__
+
+    record = {
+        "seeds": seeds,
+        "scales": scales,
+        "faults": faults,
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "cells": len(report.cells),
+        "invariants_registered": report.invariants_run,
+        "counts": report.counts(),
+        "ok": report.ok,
+        "total_seconds": round(total, 4),
+        "package_version": __version__,
+        "python": platform.python_version(),
+        "unix_time": int(_time.time()),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    counts = report.counts()
+    print(
+        f"Verify: {total:.2f}s wall clock ({len(report.cells)} worlds, "
+        f"{report.invariants_run} invariants, jobs={args.jobs}; "
+        f"{counts['pass']} pass / {counts['fail']} fail / {counts['skip']} skip)"
+    )
+    print(f"(wrote {args.out})")
+    if not report.ok:
+        print(
+            "FAIL: matrix nonconformant: " + ", ".join(report.violated()),
+            file=sys.stderr,
+        )
+        return 1
+    if args.max_seconds is not None and total > args.max_seconds:
+        print(
+            f"FAIL: verify matrix took {total:.2f}s > ceiling {args.max_seconds:.2f}s",
             file=sys.stderr,
         )
         return 1
@@ -727,7 +839,7 @@ def _verify_world(args):
         if not args.quiet:
             print(f"[verify] {message}", file=sys.stderr)
 
-    report = run_conformance(seeds, scales, faults, progress=progress)
+    report = run_conformance(seeds, scales, faults, progress=progress, jobs=args.jobs)
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(report.to_json() + "\n")
@@ -748,7 +860,7 @@ def _verify_manifest(args):
         if not args.quiet:
             print(f"[manifest] {message}", file=sys.stderr)
 
-    current = build_manifest(progress=progress)
+    current = build_manifest(progress=progress, jobs=args.jobs)
     if args.write:
         path = write_manifest(current, path=args.manifest)
         print(f"wrote {path} ({len(current['worlds'])} golden worlds)")
@@ -829,6 +941,42 @@ def main(argv=None):
         default=None,
         help="exit nonzero if the pipeline exceeds this wall-clock ceiling (CI smoke)",
     )
+    p_bench_pipe.add_argument(
+        "--max-parse-seconds",
+        type=float,
+        default=None,
+        help="exit nonzero if the parse phase alone exceeds this ceiling "
+        "(decode-regression tripwire)",
+    )
+
+    p_bench_verify = subparsers.add_parser(
+        "bench-verify",
+        help="time the conformance matrix and write a BENCH_verify.json record",
+    )
+    p_bench_verify.add_argument("--seeds", default="7,2014,99", help="comma-separated seeds")
+    p_bench_verify.add_argument(
+        "--scales", default="0.0005,0.001", help="comma-separated scales"
+    )
+    p_bench_verify.add_argument(
+        "--faults",
+        default="clean,paper",
+        help=f"comma-separated fault presets ({', '.join(FAULT_PROFILES)})",
+    )
+    p_bench_verify.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="build matrix cells over N fork-pool workers",
+    )
+    p_bench_verify.add_argument("--out", default="BENCH_verify.json", help="output JSON path")
+    p_bench_verify.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="exit nonzero if the matrix exceeds this wall-clock ceiling (CI smoke)",
+    )
+    p_bench_verify.add_argument("--quiet", action="store_true", default=False)
 
     p_figure = subparsers.add_parser("figure", help="render figures F1..F16")
     p_figure.add_argument("ids", nargs="+", metavar="F#")
@@ -875,6 +1023,14 @@ def main(argv=None):
     p_verify.add_argument(
         "--report", default=None, metavar="JSON", help="write the machine-readable report here"
     )
+    p_verify.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="build matrix cells over N fork-pool workers "
+        "(the report is identical at any N)",
+    )
     p_verify.add_argument("--quiet", action="store_true", default=False)
 
     p_manifest = subparsers.add_parser(
@@ -886,6 +1042,13 @@ def main(argv=None):
     )
     p_manifest.add_argument(
         "--write", action="store_true", default=False, help="regenerate the manifest instead"
+    )
+    p_manifest.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse and render each golden world over N processes",
     )
     p_manifest.add_argument("--quiet", action="store_true", default=False)
 
@@ -906,6 +1069,12 @@ def main(argv=None):
         return _bench_build(args)
     if args.command == "bench-pipeline":
         return _bench_pipeline(args)
+    if args.command == "bench-verify":
+        try:
+            return _bench_verify(args)
+        except CliError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.command == "verify-world":
         try:
             return _verify_world(args)

@@ -29,6 +29,8 @@ from repro.ntp.constants import (
     items_per_packet,
 )
 from repro.ntp.wire import (
+    MON_V1_DTYPE,
+    MON_V2_DTYPE,
     MonitorEntry,
     encode_mode7_response,
     encode_mode7_response_raw,
@@ -39,25 +41,12 @@ __all__ = ["MonlistRecord", "MonlistTable"]
 
 _U32_MAX = 2**32 - 1
 
-#: Big-endian on-wire layouts matching wire._V2_STRUCT / wire._V1_STRUCT.
-#: ``np.zeros`` guarantees the pad bytes are zero, exactly like struct's
-#: ``x`` pad codes, so ``tobytes()`` of a row equals the struct encoding.
-_V2_DTYPE = np.dtype(
-    {
-        "names": ["last", "first", "restr", "count", "addr", "daddr", "flags", "port", "mode", "version"],
-        "formats": [">u4", ">u4", ">u4", ">u4", ">u4", ">u4", ">u4", ">u2", "u1", "u1"],
-        "offsets": [0, 4, 8, 12, 16, 20, 24, 28, 30, 31],
-        "itemsize": MON_ENTRY_V2_SIZE,
-    }
-)
-_V1_DTYPE = np.dtype(
-    {
-        "names": ["last", "first", "count", "addr", "daddr", "flags", "port", "mode", "version"],
-        "formats": [">u4", ">u4", ">u4", ">u4", ">u4", ">u4", ">u2", "u1", "u1"],
-        "offsets": [0, 4, 8, 12, 16, 20, 24, 26, 27],
-        "itemsize": MON_ENTRY_V1_SIZE,
-    }
-)
+# The on-wire layouts live in repro.ntp.wire (MON_V1_DTYPE / MON_V2_DTYPE),
+# shared with the block decoder so encode and decode can never drift apart.
+# ``np.zeros`` guarantees the pad bytes are zero, exactly like struct's
+# ``x`` pad codes, so ``tobytes()`` of a row equals the struct encoding.
+_V2_DTYPE = MON_V2_DTYPE
+_V1_DTYPE = MON_V1_DTYPE
 
 #: Below this many entries the per-array NumPy overhead exceeds the struct
 #: loop; measured crossover is ~10 records on CPython 3.10–3.12.

@@ -44,17 +44,20 @@ def _sha256(text):
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def artifact_checksums(world):
-    """sha256 of every rendered artifact (F1..F16, T1..T6) plus SUMMARY."""
-    from repro.analysis.context import AnalysisContext
-    from repro.cli import ARTIFACTS, render_artifact
+def artifact_checksums(world, jobs=1):
+    """sha256 of every rendered artifact (F1..F16, T1..T6) plus SUMMARY.
 
-    context = AnalysisContext(world)
-    checksums = {}
-    for artifact_id in ARTIFACTS:
-        checksums[artifact_id] = _sha256(
-            render_artifact(world, artifact_id, context=context)
-        )
+    ``jobs`` parallelizes the corpus decode and the renders through
+    :func:`repro.cli.render_many`; the checksums are identical at any
+    value (the render layer's request-order merge guarantees it).
+    """
+    from repro.analysis.context import AnalysisContext
+    from repro.cli import ARTIFACTS, render_many
+
+    context = AnalysisContext(world, jobs=jobs)
+    ids = list(ARTIFACTS)
+    outputs = render_many(world, ids, jobs=jobs, context=context)
+    checksums = {artifact_id: _sha256(text) for artifact_id, text in zip(ids, outputs)}
     checksums["SUMMARY"] = _sha256(world.summary())
     return checksums
 
@@ -71,7 +74,7 @@ def _build_cell_world(cell):
     return PaperWorld.build(params=params)
 
 
-def build_manifest(cells=DEFAULT_MANIFEST_CELLS, builder=None, progress=None):
+def build_manifest(cells=DEFAULT_MANIFEST_CELLS, builder=None, progress=None, jobs=1):
     """Compute a manifest dict for the given cells."""
     import repro
 
@@ -85,7 +88,7 @@ def build_manifest(cells=DEFAULT_MANIFEST_CELLS, builder=None, progress=None):
                 "seed": cell["seed"],
                 "scale": cell["scale"],
                 "faults": cell["faults"],
-                "checksums": artifact_checksums(builder(cell)),
+                "checksums": artifact_checksums(builder(cell), jobs=jobs),
             }
         )
     return {"package_version": repro.__version__, "worlds": worlds}

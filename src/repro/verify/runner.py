@@ -70,7 +70,6 @@ class WorldRecord:
         self.ctx = AnalysisContext(world)
         self._amp_rows = None
         self._quality = None
-        self._version_report = None
         self._summary_text = None
         self._ip_union = None
 
@@ -136,19 +135,36 @@ class WorldRecord:
         return self._quality
 
     def version_report(self):
-        if self._version_report is None:
-            from repro.analysis.versions import parse_version_captures
-
-            captures = [
-                c for s in self.world.onp.version_samples for c in s.captures
-            ]
-            self._version_report = parse_version_captures(captures)
-        return self._version_report
+        return self.ctx.version_report()
 
     def summary_text(self):
         if self._summary_text is None:
             self._summary_text = self.world.summary()
         return self._summary_text
+
+    def warm_group_views(self):
+        """Force every view a group-scope invariant can consult.
+
+        The parallel matrix evaluates world-scope invariants inside the
+        worker, then ships the record back to the parent for the
+        scale/seed/fault-scope groups — warming first means the parent
+        never re-derives anything, and the raw parsed corpus (by far the
+        heaviest memo, and re-derivable) can be dropped from the pickle.
+        """
+        self.victim_report()
+        self.concentration()
+        self.amplifier_rows()
+        self.amplifier_ip_union()
+        self.quality()
+        self.version_report()
+        self.summary_text()
+        return self
+
+    def drop_parsed_corpus(self):
+        """Release the parsed-corpus memo (kept: everything derived)."""
+        self.ctx._parsed = None
+        self.ctx._responder_sets = None
+        return self
 
 
 @dataclass
@@ -287,7 +303,70 @@ def _evaluate(inv, args, subject, outcomes):
     )
 
 
-def run_conformance(seeds, scales, faults, builder=None, progress=None):
+#: Pre-fork state for conformance pool workers: ``(cells, builder,
+#: world_invariants)``, inherited copy-on-write so an injected builder
+#: closure never needs to be pickled.
+_CONFORMANCE_STATE = None
+
+
+def _conformance_worker(index):
+    """Build one matrix cell and run its world-scope checks in-process.
+
+    Returns ``(index, record, outcomes, parse_delta)``: the record has
+    every group-consumed view warmed and its raw parsed corpus dropped
+    (smaller pickle; the parent only reads derived views), ``outcomes``
+    are the world-scope results in invariant registration order, and
+    ``parse_delta`` is how many sample parses this task performed — the
+    parent folds it into its own ledger so the parse-once accounting
+    stays whole across the pool.
+    """
+    from repro.analysis.monlist_parse import parse_call_count
+
+    cells, builder, world_invs = _CONFORMANCE_STATE
+    cell = cells[index]
+    before = parse_call_count()
+    record = WorldRecord(cell, builder(cell))
+    outcomes = []
+    for inv in world_invs:
+        _evaluate(inv, (record,), cell.label(), outcomes)
+    record.warm_group_views()
+    record.drop_parsed_corpus()
+    return index, record, outcomes, parse_call_count() - before
+
+
+def _build_cells_parallel(cells, builder, world_invs, jobs, say):
+    """Build all cells over a fork pool; None when fork is unavailable.
+
+    Returns ``[(record, world_outcomes), ...]`` in ``cells`` order — the
+    completion order of the pool never leaks into the report.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+    from repro.analysis.monlist_parse import add_parse_calls
+
+    global _CONFORMANCE_STATE
+    _CONFORMANCE_STATE = (cells, builder, world_invs)
+    try:
+        workers = min(jobs, len(cells))
+        results = [None] * len(cells)
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = [pool.submit(_conformance_worker, i) for i in range(len(cells))]
+            for future in as_completed(futures):
+                index, record, outcomes, parse_delta = future.result()
+                results[index] = (record, outcomes)
+                add_parse_calls(parse_delta)
+                say(f"built {cells[index].label()}")
+    finally:
+        _CONFORMANCE_STATE = None
+    return results
+
+
+def run_conformance(seeds, scales, faults, builder=None, progress=None, jobs=1):
     """Build the matrix and evaluate every registered invariant.
 
     Parameters
@@ -301,6 +380,12 @@ def run_conformance(seeds, scales, faults, builder=None, progress=None):
         broken builders here to prove violations are caught and named.
     progress:
         Optional ``progress(message)`` callback for CLI feedback.
+    jobs:
+        Matrix cells built (and world-scope invariants evaluated) over
+        this many fork-pool workers.  The report is identical at any
+        value: outcomes are merged in request order, never completion
+        order.  Falls back to the serial path when fork is unavailable
+        or the matrix has a single cell.
     """
     builder = builder or default_builder
     say = progress or (lambda message: None)
@@ -311,19 +396,37 @@ def run_conformance(seeds, scales, faults, builder=None, progress=None):
         for scale in scales
         for fault in faults
     ]
-    records = {}
-    for cell in cells:
-        say(f"building {cell.label()}")
-        records[cell] = WorldRecord(cell, builder(cell))
-
     invariants = all_invariants()
+    world_invs = [inv for inv in invariants if inv.scope == "world"]
+
+    records = {}
+    world_outcomes = None
+    built = None
+    if jobs > 1 and len(cells) > 1:
+        say(f"building {len(cells)} worlds over {min(jobs, len(cells))} workers")
+        built = _build_cells_parallel(cells, builder, world_invs, jobs, say)
+    if built is not None:
+        world_outcomes = {}
+        for cell, (record, outcomes) in zip(cells, built):
+            records[cell] = record
+            world_outcomes[cell] = outcomes
+    else:
+        for cell in cells:
+            say(f"building {cell.label()}")
+            records[cell] = WorldRecord(cell, builder(cell))
+
     report = ConformanceReport(cells=cells, invariants_run=len(invariants))
     say(f"evaluating {len(invariants)} invariants over {len(cells)} worlds")
 
     for inv in invariants:
         if inv.scope == "world":
-            for cell in cells:
-                _evaluate(inv, (records[cell],), cell.label(), report.outcomes)
+            if world_outcomes is not None:
+                position = world_invs.index(inv)
+                for cell in cells:
+                    report.outcomes.append(world_outcomes[cell][position])
+            else:
+                for cell in cells:
+                    _evaluate(inv, (records[cell],), cell.label(), report.outcomes)
         elif inv.scope == "scale":
             for seed in seeds:
                 for fault in faults:
