@@ -30,6 +30,9 @@ Quick start::
 
 from repro.scenario import PaperWorld, WorldParams
 
-__version__ = "1.2.0"
+# 2.0.0: columnar world core + sharded build.  The world bytes changed
+# (hosts/attacks now drawn per block / per week from derived child
+# streams), so every pre-2.0 cache entry must miss on the version check.
+__version__ = "2.0.0"
 
 __all__ = ["PaperWorld", "WorldParams", "__version__"]

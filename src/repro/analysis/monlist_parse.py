@@ -8,7 +8,6 @@ an amplifier sent repeated copies of the table (a mega amplifier), the
 exactly that rendition plus the repeat count.
 """
 
-import os
 import struct
 from dataclasses import dataclass, field
 
@@ -425,42 +424,31 @@ def parse_sample(sample):
     return parsed
 
 
-def _available_cpus():
-    """CPUs this process may actually run on (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        return os.cpu_count() or 1
-
-
 def parse_corpus(samples, jobs=1):
     """Parse a list of ONP samples, optionally across processes.
 
     Results are returned in input order regardless of worker count, so the
     output is identical at any ``jobs`` value (each sample's parse is a
-    pure function of its captures).  Parallelism needs the ``fork`` start
-    method (workers inherit the samples copy-on-write; spawn would pickle
-    the whole corpus per worker and cost more than it saves), at least
-    two samples per worker to amortize the result pickling, and more than
-    one usable CPU (on a single core the pool's result pickling is pure
-    overhead) — otherwise the serial path runs.  The parent's parse-call
-    counter advances by ``len(samples)`` either way, preserving the
-    parse-once accounting.
+    pure function of its captures).  Pool engagement is decided by the
+    shared :func:`repro.util.pool.fork_pool_gate` (fork start method,
+    enough tasks to amortize result pickling, more than one usable CPU) —
+    otherwise the serial path runs.  The parent's parse-call counter
+    advances by ``len(samples)`` either way, preserving the parse-once
+    accounting.
     """
+    from repro.util.pool import fork_pool_gate
+
     samples = list(samples)
-    if jobs > 1 and len(samples) >= 2 * jobs and _available_cpus() > 1:
+    engaged, _reason = fork_pool_gate(jobs, len(samples), min_tasks=2 * max(1, jobs))
+    if engaged:
         import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
 
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            context = None
-        if context is not None:
-            with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-                parsed = list(pool.map(parse_sample, samples))
-            # Workers incremented their own (forked) counters; mirror the
-            # work into this process's ledger.
-            add_parse_calls(len(samples))
-            return parsed
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+            parsed = list(pool.map(parse_sample, samples))
+        # Workers incremented their own (forked) counters; mirror the
+        # work into this process's ledger.
+        add_parse_calls(len(samples))
+        return parsed
     return [parse_sample(sample) for sample in samples]

@@ -20,7 +20,9 @@ April (Figures 1, 2, 7).
 """
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.attack.scanner import windows_observed_ttl
 from repro.sim.events import AttackPulse
@@ -89,11 +91,17 @@ OVH_EVENT_END = date_to_sim(2014, 2, 13)
 
 @dataclass
 class Booter:
-    """A DDoS-for-hire service with a (staling) amplifier list."""
+    """A DDoS-for-hire service with a (staling) amplifier list.
+
+    The list is an ``np.ndarray`` of indices into the pool's
+    ``monlist_hosts`` (reply-size-sorted, best first) — index-based so a
+    campaign shard can ship its picks back to the parent without
+    pickling host objects.
+    """
 
     booter_id: int
     popularity: float
-    amplifier_list: list
+    amplifier_list: object  # np.ndarray of monlist_hosts indices
     list_refreshed: float
 
 
@@ -112,6 +120,10 @@ class AttackSpec:
     query_rate_per_amp: float
     spoofer_ttl: int
     booter_id: int
+    #: Amplifier IPs as an ``int64`` array aligned with ``amplifiers``.
+    #: Filled by the campaign generator; ``None`` (e.g. hand-built specs,
+    #: the scripted FRGP event) falls back to a per-host gather.
+    amp_ips: object = field(default=None, repr=False, compare=False)
 
     @property
     def end(self):
@@ -120,6 +132,12 @@ class AttackSpec:
     @property
     def size_gbps(self):
         return self.target_bps / 1e9
+
+    def amplifier_ips(self):
+        """``amp_ips``, materializing (and caching) it on first use."""
+        if self.amp_ips is None:
+            self.amp_ips = np.array([h.ip for h in self.amplifiers], dtype=np.int64)
+        return self.amp_ips
 
     def pulses(self):
         """One :class:`AttackPulse` per amplifier leg."""
@@ -180,47 +198,64 @@ class CampaignParams:
 
 
 class AttackCampaign:
-    """Generates the full, chronologically-sorted attack list."""
+    """Generates the full, chronologically-sorted attack list.
+
+    Generation is sharded by *week*: each week's attacks are a pure
+    function of ``(master seed, week number)`` — the booter lists a week
+    sees are regenerated from ``child(f"booters-w{w}")`` at the week's
+    reference time, and its attack/TTL draws come from
+    ``child(f"attacks-w{w}")``/``child(f"ttl-w{w}")``.  A
+    :class:`~repro.util.ShardRunner` can therefore fan the weeks out
+    over a fork pool and merge them in week order with byte-identical
+    results at any job count; the serial path runs the same weeks in the
+    same order.
+    """
 
     def __init__(self, rng, host_pool, victim_pool, params=None):
         self._rng = rng
         self._hosts = host_pool
         self._victims = victim_pool
         self.params = params or CampaignParams()
-        #: {id(host): table-only reply bytes} — the estimate depends only on
-        #: host.base_clients, which is fixed once the pool is built, and the
-        #: booter-list sorts ask for it hundreds of thousands of times.
-        self._reply_bytes = {}
 
     # -- internals -------------------------------------------------------------
-
-    def _estimated_reply_bytes(self, host):
-        """Rough on-wire bytes one monlist query elicits from ``host`` —
-        used to size query rates the way an attacker would (by observing
-        the amplifier)."""
-        cached = self._reply_bytes.get(id(host))
-        if cached is not None:
-            return cached
-        from repro.population.amplifiers import estimate_monlist_reply_bytes
-
-        # Ranking/rate-sizing uses the table-only estimate: attackers'
-        # list-building scans record reply sizes, not loop pathologies.
-        value = estimate_monlist_reply_bytes(host, include_loop=False)
-        self._reply_bytes[id(host)] = value
-        return value
 
     def _sample_list(self, rng, t):
         """A booter's amplifier list: a random slice of the alive pool,
         sorted best-amplifiers-first (attackers rank by observed reply
-        size, which is why primed/full-table amplifiers get hammered)."""
-        alive = self._hosts.monlist_alive(t)
-        if not alive:
-            return []
+        size, which is why primed/full-table amplifiers get hammered).
+
+        Returns indices into ``monlist_hosts``; ranking/rate-sizing uses
+        the table-only reply estimate (attackers' list-building scans
+        record reply sizes, not loop pathologies), vectorized over the
+        pool's :class:`~repro.population.columns.MonlistColumns`.
+        """
+        cols = self._hosts.monlist_columns()
+        alive = np.flatnonzero(cols.alive_mask(t))
+        if len(alive) == 0:
+            return alive
         size = max(3, min(len(alive), int(len(alive) * self.params.list_fraction)))
         picks = rng.choice(len(alive), size=size, replace=False)
-        amp_list = [alive[int(k)] for k in picks]
-        amp_list.sort(key=self._estimated_reply_bytes, reverse=True)
-        return amp_list
+        chosen = alive[np.asarray(picks, dtype=np.int64)]
+        order = np.argsort(-cols.reply_once[chosen], kind="stable")
+        return chosen[order]
+
+    def _booters_for_week(self, week, popularity):
+        """The booter roster as week ``week`` sees it: fixed identities
+        and popularity, lists re-scanned at the week's start (the weekly
+        refresh cadence of a staling amplifier list)."""
+        t_ref = self.params.start + week * WEEK
+        week_rng = self._rng.child(f"booters-w{week}")
+        booters = []
+        for i in range(self.params.n_booters):
+            booters.append(
+                Booter(
+                    booter_id=i,
+                    popularity=popularity[i],
+                    amplifier_list=self._sample_list(week_rng, t_ref),
+                    list_refreshed=t_ref,
+                )
+            )
+        return booters
 
     def _pick_amplifiers(self, rng, booter, n_amps):
         """Sample ``n_amps`` from a booter list with a strong elite bias:
@@ -234,27 +269,8 @@ class AttackCampaign:
                 index = int(rng.integers(0, min(elite, len(amp_list))))
             else:
                 index = int(rng.integers(0, len(amp_list)))
-            picked[index] = amp_list[index]
-        return list(picked.values())
-
-    def _make_booters(self, rng, t):
-        booters = []
-        for i in range(self.params.n_booters):
-            booters.append(
-                Booter(
-                    booter_id=i,
-                    popularity=float(rng.bounded_pareto(1.0, 1.0, 50.0)),
-                    amplifier_list=self._sample_list(rng, t),
-                    list_refreshed=t,
-                )
-            )
-        return booters
-
-    def _refresh_booter(self, rng, booter, t):
-        fresh = self._sample_list(rng, t)
-        if fresh:
-            booter.amplifier_list = fresh
-        booter.list_refreshed = t
+            picked[index] = int(amp_list[index])
+        return np.fromiter(picked.values(), dtype=np.int64, count=len(picked))
 
     def _sample_size_bps(self, rng, t):
         p = self.params
@@ -278,78 +294,63 @@ class AttackCampaign:
 
     # -- generation -------------------------------------------------------------
 
-    def generate(self):
-        """All attacks in the window, sorted by start time."""
-        p = self.params
-        rng = self._rng.child("attacks")
-        booter_rng = self._rng.child("booters")
-        ttl_rng = self._rng.child("spoofer-ttl")
-        booters = self._make_booters(booter_rng, p.start)
-        booter_weights = [b.popularity for b in booters]
-        total_w = sum(booter_weights)
-        booter_p = [w / total_w for w in booter_weights]
+    def generate(self, runner=None):
+        """All attacks in the window, sorted by start time.
 
+        ``runner`` (a :class:`repro.util.ShardRunner`) distributes the
+        week shards; without one they run serially with identical draws.
+        Attack ids are renumbered sequentially in (week, order) —
+        generation — order in the parent, so they never depend on shard
+        completion order.
+        """
+        p = self.params
+        n_weeks = max(1, math.ceil((p.end - p.start) / WEEK))
+        pop_rng = self._rng.child("booter-pop")
+        popularity = tuple(
+            float(pop_rng.bounded_pareto(1.0, 1.0, 50.0)) for _ in range(p.n_booters)
+        )
+        total_w = sum(popularity)
+        booter_p = tuple(w / total_w for w in popularity)
+        # Warm the shared column cache before any fork so workers inherit
+        # it copy-on-write instead of each rebuilding it.
+        cols = self._hosts.monlist_columns()
+        if runner is None:
+            from repro.util.pool import ShardRunner
+
+            runner = ShardRunner(1)
+        ctx = (self, popularity, booter_p)
+        week_rows = runner.map("campaign", _campaign_week_worker, ctx, n_weeks)
+
+        mon_hosts = self._hosts.monlist_hosts
+        victims = self._victims.victims
         attacks = []
         attack_id = 0
-        day = p.start
-        while day < p.end:
-            # Stale lists get refreshed on a weekly cadence.
-            for booter in booters:
-                if day - booter.list_refreshed >= p.list_refresh_interval:
-                    self._refresh_booter(booter_rng, booter, day)
-            day_end = min(day + DAY, p.end)
-            expected = ATTACK_INTENSITY_FULL((day + day_end) / 2) * 24 * p.scale
-            n_attacks = int(rng.poisson(expected))
-            starts = rng.uniform(day, day_end, size=n_attacks) if n_attacks else []
-            for start in sorted(starts):
-                victim_choices = self._victims.sample_active(rng, start, 1)
-                if not victim_choices:
-                    continue
-                victim = victim_choices[0]
-                booter = booters[int(rng.choice(len(booters), p=booter_p))]
-                if not booter.amplifier_list:
-                    continue
-                duration = self._sample_duration(rng, start)
-                size_bps = self._sample_size_bps(rng, start)
-                n_amps = max(1, int(rng.lognormal_for_median(AMPS_PER_ATTACK_MEDIAN(start), 0.9)))
-                # Big attacks recruit enough amplifiers to reach the target
-                # bandwidth at sane per-amplifier rates.
-                n_amps = max(n_amps, int(size_bps / p.target_bps_per_amp))
-                amps = self._pick_amplifiers(rng, booter, n_amps)
-                # Stale entries that remediated since the list was built
-                # silently stop amplifying; attackers don't notice per-hit.
-                live = [h for h in amps if h.monlist_active(start)]
-                if not live:
-                    continue
-                version_p = (
-                    p.version_attack_fraction_late
-                    if start >= date_to_sim(2014, 2, 15)
-                    else p.version_attack_fraction_late / 4
-                )
-                mode = 6 if rng.random() < version_p else 7
-                reply = sum(self._estimated_reply_bytes(h) for h in live) / len(live)
-                rate = size_bps / 8.0 / max(1, len(live)) / max(300.0, reply)
-                rate = float(min(p.max_query_rate, max(0.5, rate)))
-                port = victim.ports[int(rng.integers(0, len(victim.ports)))]
+        for rows in week_rows:
+            for (vi, port, start, duration, mode, size_bps, live, rate, ttl, bid) in rows:
                 attacks.append(
                     AttackSpec(
                         attack_id=attack_id,
-                        victim=victim,
+                        victim=victims[vi],
                         port=port,
-                        start=float(start),
+                        start=start,
                         duration=duration,
                         mode=mode,
                         target_bps=size_bps,
-                        amplifiers=live,
+                        amplifiers=[mon_hosts[int(k)] for k in live],
                         query_rate_per_amp=rate,
-                        spoofer_ttl=windows_observed_ttl(ttl_rng),
-                        booter_id=booter.booter_id,
+                        spoofer_ttl=ttl,
+                        booter_id=bid,
+                        amp_ips=cols.ip[live],
                     )
                 )
                 attack_id += 1
-            day = day_end
-        if self.params.ovh_event:
-            attacks.extend(self._ovh_event_attacks(rng, ttl_rng, booters, attack_id))
+        if p.ovh_event:
+            # The scripted event layer runs in the parent: it needs the
+            # end-of-campaign booter rosters (the last weekly refresh).
+            ovh_rng = self._rng.child("ovh-attacks")
+            ovh_ttl = self._rng.child("ovh-ttl")
+            booters = self._booters_for_week(n_weeks - 1, popularity)
+            attacks.extend(self._ovh_event_attacks(ovh_rng, ovh_ttl, booters, attack_id))
         attacks.sort(key=lambda a: a.start)
         return attacks
 
@@ -379,22 +380,27 @@ class AttackCampaign:
         # is inactive.
         size_cap = max(25e9, min(400e9, 0.02 * 71.5e12 * self.params.scale))
         out = []
-        lists = [b for b in booters if b.amplifier_list]
+        lists = [b for b in booters if len(b.amplifier_list)]
         if not lists:
             return []
+        cols = self._hosts.monlist_columns()
+        mon_hosts = self._hosts.monlist_hosts
         for i in range(n_event):
             victim = targets[int(rng.integers(0, len(targets)))]
             booter = lists[int(rng.integers(0, len(lists)))]
             start = OVH_EVENT_START + float(rng.uniform(0, OVH_EVENT_END - OVH_EVENT_START))
             duration = float(min(24 * HOUR, rng.lognormal_for_median(HOUR, 0.9)))
-            live = [h for h in booter.amplifier_list if h.monlist_active(start)]
-            if not live:
+            amp_list = booter.amplifier_list
+            live = amp_list[
+                (cols.birth[amp_list] <= start) & (start < cols.monlist_end[amp_list])
+            ]
+            if len(live) == 0:
                 continue
             n_amps = min(len(live), max(10, int(rng.lognormal_for_median(60, 0.6))))
             picks = rng.choice(len(live), size=n_amps, replace=False)
-            amps = [live[int(k)] for k in picks]
+            amps = live[np.asarray(picks, dtype=np.int64)]
             size_bps = min(size_cap, float(rng.lognormal_for_median(15e9, 0.9)))
-            reply = sum(self._estimated_reply_bytes(h) for h in amps) / len(amps)
+            reply = int(cols.reply_once[amps].sum()) / len(amps)
             rate = size_bps / 8.0 / len(amps) / max(300.0, reply)
             out.append(
                 AttackSpec(
@@ -405,10 +411,85 @@ class AttackCampaign:
                     duration=duration,
                     mode=7,
                     target_bps=size_bps,
-                    amplifiers=amps,
+                    amplifiers=[mon_hosts[int(k)] for k in amps],
                     query_rate_per_amp=float(min(self.params.max_query_rate, max(1.0, rate))),
                     spoofer_ttl=windows_observed_ttl(ttl_rng),
                     booter_id=booter.booter_id,
+                    amp_ips=cols.ip[amps],
                 )
             )
         return out
+
+
+def _campaign_week_worker(ctx, week):
+    """Generate one week of attacks as index-based transport rows.
+
+    Each row is ``(victim_index, port, start, duration, mode,
+    target_bps, live_amp_indices, rate, ttl, booter_id)`` — small enough
+    to pickle back from a fork worker; the parent materializes
+    :class:`AttackSpec` objects.  The per-attack draw sequence inside a
+    week mirrors the original day-loop generator exactly.
+    """
+    campaign, popularity, booter_p = ctx
+    p = campaign.params
+    booters = campaign._booters_for_week(week, popularity)
+    wrng = campaign._rng.child(f"attacks-w{week}")
+    ttl_rng = campaign._rng.child(f"ttl-w{week}")
+    cols = campaign._hosts.monlist_columns()
+    victims = campaign._victims.victims
+
+    rows = []
+    day = p.start + week * WEEK
+    week_end = min(day + WEEK, p.end)
+    while day < week_end:
+        day_end = min(day + DAY, week_end)
+        expected = ATTACK_INTENSITY_FULL((day + day_end) / 2) * 24 * p.scale
+        n_attacks = int(wrng.poisson(expected))
+        starts = wrng.uniform(day, day_end, size=n_attacks) if n_attacks else []
+        for start in sorted(starts):
+            victim_choices = campaign._victims.sample_active_indices(wrng, start, 1)
+            if not victim_choices:
+                continue
+            vi = victim_choices[0]
+            victim = victims[vi]
+            booter = booters[int(wrng.choice(len(booters), p=booter_p))]
+            if len(booter.amplifier_list) == 0:
+                continue
+            duration = campaign._sample_duration(wrng, start)
+            size_bps = campaign._sample_size_bps(wrng, start)
+            n_amps = max(1, int(wrng.lognormal_for_median(AMPS_PER_ATTACK_MEDIAN(start), 0.9)))
+            # Big attacks recruit enough amplifiers to reach the target
+            # bandwidth at sane per-amplifier rates.
+            n_amps = max(n_amps, int(size_bps / p.target_bps_per_amp))
+            amps = campaign._pick_amplifiers(wrng, booter, n_amps)
+            # Stale entries that remediated since the list was built
+            # silently stop amplifying; attackers don't notice per-hit.
+            live = amps[(cols.birth[amps] <= start) & (start < cols.monlist_end[amps])]
+            if len(live) == 0:
+                continue
+            version_p = (
+                p.version_attack_fraction_late
+                if start >= date_to_sim(2014, 2, 15)
+                else p.version_attack_fraction_late / 4
+            )
+            mode = 6 if wrng.random() < version_p else 7
+            reply = int(cols.reply_once[live].sum()) / len(live)
+            rate = size_bps / 8.0 / max(1, len(live)) / max(300.0, reply)
+            rate = float(min(p.max_query_rate, max(0.5, rate)))
+            port = victim.ports[int(wrng.integers(0, len(victim.ports)))]
+            rows.append(
+                (
+                    vi,
+                    port,
+                    float(start),
+                    duration,
+                    mode,
+                    size_bps,
+                    live,
+                    rate,
+                    windows_observed_ttl(ttl_rng),
+                    booter.booter_id,
+                )
+            )
+        day = day_end
+    return rows

@@ -70,7 +70,7 @@ def build_or_load_world(args):
         except CacheMiss as miss:
             if os.path.exists(args.cache):
                 print(f"(stale world cache: {miss}; rebuilding)", file=sys.stderr)
-    world = PaperWorld.build(params=params, quiet=args.quiet)
+    world = PaperWorld.build(params=params, quiet=args.quiet, jobs=getattr(args, "jobs", 1))
     if args.cache:
         try:
             save_world(world, args.cache)
@@ -519,44 +519,37 @@ def render_many(world, artifact_ids, jobs=1, context=None, stats=None):
     ``bench-pipeline`` reports these so a no-op parallel phase is
     explainable from the benchmark record alone.
     """
+    from repro.util.pool import available_cpus, fork_pool_gate
+
     global _WORKER_CONTEXT
     ids = [artifact_id.upper() for artifact_id in artifact_ids]
     ctx = context if context is not None else AnalysisContext(world, jobs=jobs)
     if stats is None:
         stats = {}
+    engaged, reason = fork_pool_gate(jobs, len(ids))
     stats.update(
         {
-            "pool_engaged": False,
-            "workers": 0,
+            "pool_engaged": engaged,
+            "workers": min(jobs, len(ids)) if engaged else 0,
             "tasks": len(ids),
-            "cpu_count": os.cpu_count(),
-            "reason": None,
+            "cpu_count": available_cpus(),
+            "reason": reason,
         }
     )
-    if jobs <= 1:
-        stats["reason"] = "jobs <= 1: serial path requested"
-    elif len(ids) <= 1:
-        stats["reason"] = "single task: nothing to parallelize"
-    else:
+    if engaged:
         import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
 
+        mp_context = multiprocessing.get_context("fork")
+        ctx.warm()
+        _WORKER_CONTEXT = ctx
         try:
-            mp_context = multiprocessing.get_context("fork")
-        except ValueError:
-            mp_context = None
-        if mp_context is None:
-            stats["reason"] = "fork start method unavailable on this platform"
-        else:
-            ctx.warm()
-            workers = min(jobs, len(ids))
-            stats.update({"pool_engaged": True, "workers": workers})
-            _WORKER_CONTEXT = ctx
-            try:
-                with ProcessPoolExecutor(max_workers=workers, mp_context=mp_context) as pool:
-                    return list(pool.map(_render_in_worker, ids))
-            finally:
-                _WORKER_CONTEXT = None
+            with ProcessPoolExecutor(
+                max_workers=stats["workers"], mp_context=mp_context
+            ) as pool:
+                return list(pool.map(_render_in_worker, ids))
+        finally:
+            _WORKER_CONTEXT = None
     return [render_artifact(ctx.world, artifact_id, context=ctx) for artifact_id in ids]
 
 
@@ -600,40 +593,99 @@ def _provenance(args, params):
     }
 
 
+def _peak_rss_mb():
+    """(self MB, children MB) peak RSS so far for this process tree.
+
+    Linux reports ``ru_maxrss`` in KB (macOS in bytes); children covers
+    the largest fork-pool worker, so self+children bounds the build's
+    true footprint from above.
+    """
+    import resource
+
+    self_raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_raw = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return round(self_raw / divisor, 2), round(child_raw / divisor, 2)
+
+
 def _bench_build(args):
-    """Build a world fresh (never cached), record phase timings to JSON.
+    """Build worlds fresh (never cached), record timings + memory to JSON.
 
     The JSON is the perf trajectory's unit record: one file per run with
-    enough provenance (seed/scale/faults/version/host counts) to compare
-    across commits.  ``--max-seconds`` turns it into a CI regression gate.
+    enough provenance (seed/scale/faults/version/host counts, shard-pool
+    engagement, peak RSS) to compare across commits.  ``--scale`` accepts
+    a comma-separated list for a scaling sweep (the record then carries a
+    ``runs`` array, one entry per scale).  ``--max-seconds`` and
+    ``--max-rss-mb`` turn it into a CI regression gate.
     """
-    params = _world_params(args)
-    world = PaperWorld.build(params=params, quiet=args.quiet)
-    timings = dict(world.build_timings)
-    total = timings.pop("total")
-    record = _provenance(args, params)
-    record.update(
-        {
+    from repro.measurement.capture_store import spill_threshold_bytes
+
+    faults = resolve_fault_profile(args.faults)
+    if args.scale is not None:
+        scales = _parse_list(args.scale, float, "scale")
+    else:
+        scales = [resolve_preset(args.preset).scale]
+    runs = []
+    worst_total = 0.0
+    params = None
+    for scale in scales:
+        params = WorldParams(seed=args.seed, scale=scale, faults=faults)
+        world = PaperWorld.build(params=params, quiet=args.quiet, jobs=args.jobs)
+        timings = dict(world.build_timings)
+        total = timings.pop("total")
+        worst_total = max(worst_total, total)
+        self_mb, children_mb = _peak_rss_mb()
+        run = {
+            "scale": scale,
+            "n_ases": params.resolved_n_ases(),
             "hosts": len(world.hosts),
             "victims": len(world.victims),
             "attacks": len(world.attacks),
             "sweeps": len(world.sweeps),
             "total_seconds": round(total, 4),
             "phases": {phase: round(seconds, 4) for phase, seconds in timings.items()},
+            "memory": {
+                "peak_rss_mb": round(self_mb + children_mb, 2),
+                "self_mb": self_mb,
+                "children_mb": children_mb,
+                "spill_threshold_mb": round(spill_threshold_bytes() / (1024 * 1024), 2),
+            },
+            "shards": world.shard_stats,
         }
-    )
+        runs.append(run)
+        print("\n".join(world.timing_summary()))
+        print(
+            f"  scale {scale:g}: peak RSS {run['memory']['peak_rss_mb']:.0f} MB "
+            f"(self {self_mb:.0f} + children {children_mb:.0f})"
+        )
+    record = _provenance(args, params)
+    record["jobs"] = args.jobs
+    if len(runs) == 1:
+        record.update(runs[0])
+    else:
+        record.pop("scale", None)
+        record.pop("n_ases", None)  # varies per run; each runs[] entry has its own
+        record["scales"] = scales
+        record["runs"] = runs
     with open(args.out, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print("\n".join(world.timing_summary()))
     print(f"(wrote {args.out})")
-    if args.max_seconds is not None and total > args.max_seconds:
+    status = 0
+    if args.max_seconds is not None and worst_total > args.max_seconds:
         print(
-            f"FAIL: build took {total:.2f}s > ceiling {args.max_seconds:.2f}s",
+            f"FAIL: build took {worst_total:.2f}s > ceiling {args.max_seconds:.2f}s",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        status = 1
+    peak = runs[-1]["memory"]["peak_rss_mb"]
+    if args.max_rss_mb is not None and peak > args.max_rss_mb:
+        print(
+            f"FAIL: peak RSS {peak:.0f} MB > ceiling {args.max_rss_mb:.0f} MB",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
 
 
 def _bench_pipeline(args):
@@ -747,7 +799,14 @@ def _bench_verify(args):
             print(f"[bench-verify] {message}", file=sys.stderr)
 
     start = perf_counter()
-    report = run_conformance(seeds, scales, faults, progress=progress, jobs=args.jobs)
+    report = run_conformance(
+        seeds,
+        scales,
+        faults,
+        progress=progress,
+        jobs=args.jobs,
+        build_jobs=args.build_jobs,
+    )
     total = perf_counter() - start
 
     import platform
@@ -760,6 +819,7 @@ def _bench_verify(args):
         "scales": scales,
         "faults": faults,
         "jobs": args.jobs,
+        "build_jobs": args.build_jobs,
         "cpu_count": os.cpu_count(),
         "cells": len(report.cells),
         "invariants_registered": report.invariants_run,
@@ -839,7 +899,14 @@ def _verify_world(args):
         if not args.quiet:
             print(f"[verify] {message}", file=sys.stderr)
 
-    report = run_conformance(seeds, scales, faults, progress=progress, jobs=args.jobs)
+    report = run_conformance(
+        seeds,
+        scales,
+        faults,
+        progress=progress,
+        jobs=args.jobs,
+        build_jobs=args.build_jobs,
+    )
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(report.to_json() + "\n")
@@ -879,9 +946,18 @@ def _verify_manifest(args):
     return 0 if ok else 1
 
 
-def _add_world_args(parser):
+def _add_world_args(parser, scale_list=False):
     parser.add_argument("--seed", type=int, default=2014)
-    parser.add_argument("--scale", type=float, default=None, help="overrides --preset")
+    if scale_list:
+        parser.add_argument(
+            "--scale",
+            type=str,
+            default=None,
+            metavar="S[,S...]",
+            help="overrides --preset; comma-separated values run a scaling sweep",
+        )
+    else:
+        parser.add_argument("--scale", type=float, default=None, help="overrides --preset")
     parser.add_argument("--preset", default="small", choices=sorted(PRESETS))
     parser.add_argument(
         "--faults",
@@ -919,13 +995,28 @@ def main(argv=None):
     p_bench = subparsers.add_parser(
         "bench-build", help="time a world build and write a BENCH_build.json record"
     )
-    _add_world_args(p_bench)
+    _add_world_args(p_bench, scale_list=True)
+    p_bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the build phases over N fork-pool workers "
+        "(the world is byte-identical at any N)",
+    )
     p_bench.add_argument("--out", default="BENCH_build.json", help="output JSON path")
     p_bench.add_argument(
         "--max-seconds",
         type=float,
         default=None,
         help="exit nonzero if the build exceeds this wall-clock ceiling (CI smoke)",
+    )
+    p_bench.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        help="exit nonzero if peak RSS (self + children) exceeds this ceiling "
+        "(memory-regression tripwire)",
     )
 
     p_bench_pipe = subparsers.add_parser(
@@ -968,6 +1059,13 @@ def main(argv=None):
         default=1,
         metavar="N",
         help="build matrix cells over N fork-pool workers",
+    )
+    p_bench_verify.add_argument(
+        "--build-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard each world build over N workers (compose with --jobs carefully)",
     )
     p_bench_verify.add_argument("--out", default="BENCH_verify.json", help="output JSON path")
     p_bench_verify.add_argument(
@@ -1031,6 +1129,14 @@ def main(argv=None):
         help="build matrix cells over N fork-pool workers "
         "(the report is identical at any N)",
     )
+    p_verify.add_argument(
+        "--build-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard each world build over N workers; use instead of --jobs "
+        "when cells are few but large (the report is identical at any N)",
+    )
     p_verify.add_argument("--quiet", action="store_true", default=False)
 
     p_manifest = subparsers.add_parser(
@@ -1066,7 +1172,11 @@ def main(argv=None):
         return 0
 
     if args.command == "bench-build":
-        return _bench_build(args)
+        try:
+            return _bench_build(args)
+        except CliError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.command == "bench-pipeline":
         return _bench_pipeline(args)
     if args.command == "bench-verify":

@@ -203,6 +203,7 @@ class FaultInjector:
     def __init__(self, profile, rng):
         self.profile = profile
         self.log = InjectionLog()
+        self._rng = rng
         self._onp_rng = rng.child("onp")
         self._darknet_rng = rng.child("darknet")
         self._arbor_rng = rng.child("arbor")
@@ -246,42 +247,26 @@ class FaultInjector:
         duplication, reordering, and finally per-capture bit corruption.
         Always returns at least one packet.
         """
-        profile = self.profile
-        rng = self._onp_rng
-        log = self.log
-        out = list(packets)
-        if len(out) > 1 and profile.onp_truncate_rate > 0.0:
-            if rng.random() < profile.onp_truncate_rate:
-                keep = 1 + int(rng.integers(0, len(out) - 1))
-                log.record("onp.monlist.truncated_response")
-                log.record("onp.monlist.dropped_packet", len(out) - keep)
-                out = out[:keep]
-        if profile.onp_duplicate_rate > 0.0 and rng.random() < profile.onp_duplicate_rate:
-            source = int(rng.integers(0, len(out)))
-            position = int(rng.integers(0, len(out) + 1))
-            out.insert(position, out[source])
-            log.record("onp.monlist.duplicated_packet")
-        if len(out) > 1 and profile.onp_reorder_rate > 0.0:
-            if rng.random() < profile.onp_reorder_rate:
-                order = list(rng.generator.permutation(len(out)))
-                out = [out[i] for i in order]
-                log.record("onp.monlist.reordered_response")
-        if profile.onp_corrupt_rate > 0.0 and rng.random() < profile.onp_corrupt_rate:
-            index = int(rng.integers(0, len(out)))
-            out[index] = self._flip_bytes(out[index])
-            log.record("onp.monlist.corrupted_packet")
-        return tuple(out)
+        return _mangle_packets(self.profile, self._onp_rng, self.log, packets)
 
-    def _flip_bytes(self, packet):
-        """XOR 1-4 random bytes of a packet with random nonzero masks."""
-        rng = self._onp_rng
-        data = bytearray(packet)
-        n_flips = 1 + int(rng.integers(0, 4))
-        for _ in range(n_flips):
-            position = int(rng.integers(0, len(data)))
-            mask = 1 + int(rng.integers(0, 255))
-            data[position] ^= mask
-        return bytes(data)
+    def block_mangler(self, block):
+        """A per-build-block mode-7 mangler, or None with no mangle rates.
+
+        The block-sharded ONP sweep mangles each block's captures from a
+        dedicated ``onp-mangle-b{block}`` child stream (derived, never
+        shared across processes) and counts into a local
+        :class:`InjectionLog` the parent merges back — the same blocks
+        consume the same streams at any ``--jobs``.
+        """
+        profile = self.profile
+        if (
+            profile.onp_truncate_rate == 0.0
+            and profile.onp_duplicate_rate == 0.0
+            and profile.onp_reorder_rate == 0.0
+            and profile.onp_corrupt_rate == 0.0
+        ):
+            return None
+        return BlockMangler(profile, self._rng.child(f"onp-mangle-b{block}"))
 
     # -- darknet -------------------------------------------------------------
 
@@ -313,6 +298,62 @@ class FaultInjector:
             return False
         self.log.record("arbor.missing_day")
         return True
+
+
+def _mangle_packets(profile, rng, log, packets):
+    """The mode-7 mangle pipeline over an explicit (rng, log) pair.
+
+    Shared by the injector's own stream (monolithic path, pinned draw
+    sequence) and per-block :class:`BlockMangler` streams (sharded path).
+    """
+    out = list(packets)
+    if len(out) > 1 and profile.onp_truncate_rate > 0.0:
+        if rng.random() < profile.onp_truncate_rate:
+            keep = 1 + int(rng.integers(0, len(out) - 1))
+            log.record("onp.monlist.truncated_response")
+            log.record("onp.monlist.dropped_packet", len(out) - keep)
+            out = out[:keep]
+    if profile.onp_duplicate_rate > 0.0 and rng.random() < profile.onp_duplicate_rate:
+        source = int(rng.integers(0, len(out)))
+        position = int(rng.integers(0, len(out) + 1))
+        out.insert(position, out[source])
+        log.record("onp.monlist.duplicated_packet")
+    if len(out) > 1 and profile.onp_reorder_rate > 0.0:
+        if rng.random() < profile.onp_reorder_rate:
+            order = list(rng.generator.permutation(len(out)))
+            out = [out[i] for i in order]
+            log.record("onp.monlist.reordered_response")
+    if profile.onp_corrupt_rate > 0.0 and rng.random() < profile.onp_corrupt_rate:
+        index = int(rng.integers(0, len(out)))
+        out[index] = _flip_bytes(rng, out[index])
+        log.record("onp.monlist.corrupted_packet")
+    return tuple(out)
+
+
+def _flip_bytes(rng, packet):
+    """XOR 1-4 random bytes of a packet with random nonzero masks."""
+    data = bytearray(packet)
+    n_flips = 1 + int(rng.integers(0, 4))
+    for _ in range(n_flips):
+        position = int(rng.integers(0, len(data)))
+        mask = 1 + int(rng.integers(0, 255))
+        data[position] ^= mask
+    return bytes(data)
+
+
+class BlockMangler:
+    """Mode-7 packet mangling scoped to one build block: own child stream,
+    own local log (merged into the world log by the sweep parent)."""
+
+    __slots__ = ("profile", "rng", "log")
+
+    def __init__(self, profile, rng):
+        self.profile = profile
+        self.rng = rng
+        self.log = InjectionLog()
+
+    def mangle(self, packets):
+        return _mangle_packets(self.profile, self.rng, self.log, packets)
 
 
 def profile_fields(profile):

@@ -18,6 +18,8 @@ events after the latest flush boundary before the observation time.
 
 import bisect
 
+import numpy as np
+
 from repro.ntp.constants import MODE_CLIENT, NTP_PORT
 from repro.ntp.server import NtpServer, ServerConfig
 
@@ -54,6 +56,14 @@ class AmplifierStateManager:
         self._pulses = {}  # amplifier ip -> list of AttackPulse (sorted on demand)
         self._pulse_ends = {}  # amplifier ip -> [pulse.end] aligned with the sorted list
         self._dirty_pulse_ips = set()  # ips whose pulse list needs (re)sorting
+        #: Columnar pulse registry (PulseColumns): the world build's bulk
+        #: path.  Coexists with the per-object dict — both are replayed.
+        self._pulse_columns = None
+        # Per-host malicious-hit streams, derived lazily from the manager
+        # RNG by host ip.  Keying draws by host (not by global sync order)
+        # is what lets block-sharded sweeps consume the same draws for the
+        # same host regardless of which worker syncs it.
+        self._mal_rngs = {}
         self._research = research_scanners
         # Each research scanner's sweep schedule is fixed; computing it once
         # here (sorted) turns the per-host window query in `_sync_research`
@@ -72,7 +82,30 @@ class AmplifierStateManager:
         state = self.__dict__.copy()
         state["_malicious_index"] = None
         state["_malicious_window_cache"] = {}
+        # Per-host streams re-derive from (_rng, host ip) on demand —
+        # identical in any process, so never worth pickling.
+        state["_mal_rngs"] = {}
         return state
+
+    def block_view(self):
+        """A worker-process view sharing the registries but owning its own
+        materialization state.
+
+        Shared (read-only in workers): the RNG root, pulse registries,
+        research schedules, malicious-day summaries.  Owned: the server
+        map, sync clocks, and per-process caches — each build block syncs
+        a disjoint slice of hosts, so views never contend and the draws a
+        host consumes (keyed per host) match the monolithic build's.
+        """
+        view = self.__class__.__new__(self.__class__)
+        view.__dict__.update(self.__dict__)
+        view._servers = {}
+        view._last_sync = {}
+        view._flush_base = {}
+        view._malicious_index = None
+        view._malicious_window_cache = {}
+        view._mal_rngs = {}
+        return view
 
     # -- wiring -------------------------------------------------------------------
 
@@ -109,6 +142,17 @@ class AmplifierStateManager:
             self._pulse_ends[ip] = [p.end for p in plist]
             self._dirty_pulse_ips.discard(ip)
         return plist, self._pulse_ends[ip]
+
+    def register_pulse_columns(self, columns):
+        """Register the whole campaign's pulses as one columnar batch.
+
+        ``columns`` is a :class:`~repro.population.columns.PulseColumns`
+        (lexsorted by amplifier then end): the per-host window query in
+        ``_sync_pulses`` becomes two ``searchsorted`` calls over a
+        contiguous slice instead of a per-ip Python list bisect, and the
+        ~35M pulse legs of a full-scale campaign never exist as objects.
+        """
+        self._pulse_columns = columns
 
     def register_malicious_activity(self, sweeps):
         """Summarize malicious sweeps into per-day (coverage, scanner IPs)."""
@@ -233,16 +277,49 @@ class AmplifierStateManager:
         if pool_len == 0 or total_coverage <= 0:
             return
         flat = self._malicious_prefix()[2]
+        # Per-host stream: derived once from (manager rng, host ip), so a
+        # host consumes the same draws whether the sweep that syncs it runs
+        # monolithically or inside any build-block worker.
+        rng = self._mal_rngs.get(host.ip)
+        if rng is None:
+            rng = self._rng.child(f"host-{host.ip}")
+            self._mal_rngs[host.ip] = rng
         # A scanner with coverage c hits this amplifier with probability c;
         # the window's expected hits is the summed coverage.  Capped: the
         # table only needs a plausible scanner background, not a census.
-        hits = min(int(self._rng.poisson(total_coverage)), 6)
+        hits = min(int(rng.poisson(total_coverage)), 6)
         for _ in range(hits):
-            ip, mode = flat[pool_lo + int(self._rng.integers(0, pool_len))]
-            t = window_start + float(self._rng.uniform(0, max(1.0, now - window_start)))
-            server.record_client(ip, int(self._rng.integers(1024, 65535)), mode, 2, min(t, now))
+            ip, mode = flat[pool_lo + int(rng.integers(0, pool_len))]
+            t = window_start + float(rng.uniform(0, max(1.0, now - window_start)))
+            server.record_client(ip, int(rng.integers(1024, 65535)), mode, 2, min(t, now))
 
     def _sync_pulses(self, host, server, now, window_start):
+        columns = self._pulse_columns
+        if columns is not None:
+            lo, hi = columns.ip_range(host.ip)
+            if lo < hi:
+                ends = columns.end
+                # Window (window_start, now] over this amplifier's slice
+                # (pulses are end-sorted within the slice).
+                a = lo + int(np.searchsorted(ends[lo:hi], window_start, side="right"))
+                b = lo + int(np.searchsorted(ends[lo:hi], now, side="right"))
+                loop_factor = server.config.loop_factor
+                record = server.record_client
+                for j in range(a, b):
+                    # record_attack_pulse, columnarized: link-capped loop
+                    # amplification folded in at the pulse's end instant.
+                    duration = float(columns.duration[j])
+                    link_cap = int(30_000 * max(1.0, duration))
+                    packets = min(int(columns.query_count[j]) * loop_factor, link_cap)
+                    record(
+                        int(columns.victim_ip[j]),
+                        int(columns.victim_port[j]),
+                        int(columns.mode[j]),
+                        2,
+                        float(ends[j]),
+                        packets=packets,
+                        span=duration,
+                    )
         plist, ends = self._sorted_pulses(host.ip)
         if not plist:
             return

@@ -10,12 +10,27 @@ address a single NTP packet and captures all response packets:
 
 Captures store raw packet bytes; the analysis layer re-parses them with the
 ntpdc protocol logic, exactly as the paper did.
+
+Sharded sweeps
+--------------
+The sweep is partitioned along the host pool's fixed build blocks (see
+``repro.population.columns.HOST_BLOCKS``): each block worker walks the
+*whole* chronological schedule over its own disjoint host slice, with its
+own :meth:`~repro.measurement.amplifier_state.AmplifierStateManager.block_view`
+and per-(sample, block) loss streams, and returns one
+:class:`~repro.measurement.capture_store.PackedCaptures` per sample.  The
+parent concatenates block parts in block order — byte-identical at any
+``--jobs`` because the blocks, their streams, and their merge order never
+depend on the worker count.  Sweep-level fault decisions (outages, partial
+sweeps) are drawn parent-side, serially, before any block runs.
 """
 
 from dataclasses import dataclass, field
 
 from repro.attack.scanner import ONP_PROBER_IP
+from repro.measurement.capture_store import PackedCaptures, PackedCapturesBuilder
 from repro.ntp.constants import IMPL_XNTPD, MODE_CONTROL, MODE_PRIVATE
+from repro.util.pool import ShardRunner
 from repro.util.simtime import WEEK, date_to_sim, format_sim, week_samples
 
 __all__ = [
@@ -54,29 +69,57 @@ class ProbeCapture:
         return sum(len(p) for p in self.packets) * self.n_repeats
 
 
-@dataclass
 class OnpSample:
-    """One Internet-wide scan: a date and every capture it produced."""
+    """One Internet-wide scan: a date and every capture it produced.
 
-    t: float
-    mode: int
-    captures: list = field(default_factory=list)
-    #: True when the whole weekly sweep is missing (apparatus outage);
-    #: the sample is kept in the dataset so consumers can mark the gap.
-    outage: bool = False
-    #: Fraction of the target list the sweep actually covered (< 1.0 when
-    #: the apparatus aborted the sweep partway through the address space).
-    coverage: float = 1.0
+    Captures live in a :class:`PackedCaptures` store (flat arrays over one
+    payload blob, possibly memory-mapped); ``sample.captures`` lazily
+    materializes a list of :class:`ProbeCapture`-shaped views on first
+    access, so analysis code is unchanged while a full-scale sample costs
+    arrays, not millions of tuples.
+    """
 
-    #: Length-guarded memo for :meth:`responder_ips` — samples are
-    #: append-only after the sweep, so a stale entry is detected by size.
-    _responder_cache: tuple = field(default=None, repr=False, compare=False)
+    def __init__(self, t, mode, captures=None, outage=False, coverage=1.0):
+        self.t = t
+        self.mode = mode
+        #: True when the whole weekly sweep is missing (apparatus outage);
+        #: the sample is kept in the dataset so consumers can mark the gap.
+        self.outage = outage
+        #: Fraction of the target list the sweep actually covered (< 1.0
+        #: when the apparatus aborted partway through the address space).
+        self.coverage = coverage
+        self._packed = None
+        self._captures = list(captures) if captures is not None else None
+        self._responder_cache = None
 
     @property
     def date(self):
         return format_sim(self.t)
 
+    @property
+    def packed(self):
+        """The backing :class:`PackedCaptures` store (None when the sample
+        was built capture-by-capture or is an outage gap)."""
+        return self._packed
+
+    def attach_packed(self, packed):
+        """Adopt a packed store as this sample's capture set."""
+        self._packed = packed
+        self._captures = None
+        self._responder_cache = None
+
+    @property
+    def captures(self):
+        captures = self._captures
+        if captures is None:
+            packed = self._packed
+            captures = packed.views() if packed is not None else []
+            self._captures = captures
+        return captures
+
     def __len__(self):
+        if self._captures is None and self._packed is not None:
+            return len(self._packed)
         return len(self.captures)
 
     def responder_ips(self):
@@ -84,14 +127,31 @@ class OnpSample:
 
         Analysis loops call this once per (sample, artifact) pair; the set
         is rebuilt only when the capture list has grown since the last
-        call, which never happens after the sweep completes.
+        call, which never happens after the sweep completes.  The packed
+        path reads the target-ip column directly — no views needed.
         """
+        n = len(self)
         cache = self._responder_cache
-        n = len(self.captures)
         if cache is None or cache[0] != n:
-            cache = (n, {c.target_ip for c in self.captures})
+            if self._captures is None and self._packed is not None:
+                ips = {int(ip) for ip in self._packed.target_ips}
+            else:
+                ips = {c.target_ip for c in self.captures}
+            cache = (n, ips)
             self._responder_cache = cache
         return cache[1]
+
+    # Cache pickles: views and responder sets re-materialize from the
+    # packed store, so only the store itself is worth carrying.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_responder_cache"] = None
+        if state["_packed"] is not None:
+            state["_captures"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
 
 @dataclass
@@ -105,7 +165,7 @@ class OnpDataset:
     def monlist_unique_ips(self):
         """Union of responder IPs over all monlist samples (cached; the
         guard is the total capture count, append-only after the sweep)."""
-        total = sum(len(s.captures) for s in self.monlist_samples)
+        total = sum(len(s) for s in self.monlist_samples)
         cache = self._unique_cache
         if cache is None or cache[0] != total:
             out = set()
@@ -114,6 +174,139 @@ class OnpDataset:
             cache = (total, out)
             self._unique_cache = cache
         return cache[1]
+
+
+def _sweep_monlist(prober, state, active, t, rng, mangler):
+    """One block's slice of a monlist sweep; returns a PackedCaptures.
+
+    Two-pass, replicating the paper apparatus: every *existing* active
+    host is probed (ntpd monitors all traffic regardless of response
+    loss), then a small loss rate models rate-limiting and filtering of
+    the single scanning source.
+    """
+    builder = PackedCapturesBuilder(t)
+    src_ip = prober._ip
+    src_port = 50557 + (int(t) % 1000)  # hoisted: constant per sweep
+    sync = state.sync
+    # Pass 1 — probe every active host in target-list order: sync its
+    # table, record the probe, and note which hosts would reply.  The
+    # reply conditions mirror NtpServer.monlist_reply exactly.
+    repliers = []
+    for host in active:
+        server = sync(host, t)
+        config = server.config
+        # Direct table.record: sync(host, t) already consumed every
+        # flush boundary <= t, so record_client's maybe_flush(t) would
+        # be a guaranteed no-op here.
+        server.table.record(src_ip, src_port, MODE_PRIVATE, 2, t, packets=config.loop_factor)
+        if config.monlist_enabled and IMPL_XNTPD in config.implementations:
+            repliers.append((host, server))
+    if not repliers:
+        return builder.finish()
+    # RNG-order contract (pinned; both sweep helpers obey it): the loss
+    # draw happens AFTER reply generation and ONLY for hosts that produced
+    # a reply.  One block draw consumes the PCG64 stream exactly like
+    # len(repliers) scalar random() calls (pinned by the block-vs-scalar
+    # RNG test), so each replier still sees the draw the per-host loop
+    # would have given it — reordering either part shifts every subsequent
+    # draw and breaks world determinism.
+    draws = rng.random(len(repliers))
+    loss = prober._loss
+    # Pass 2 — render replies only for survivors.  Rendering is a pure
+    # function of the table at ``t`` (no table mutates between the
+    # passes), so skipping lost replies changes no surviving bytes.
+    for (host, server), u in zip(repliers, draws):
+        if u < loss:
+            continue
+        reply = server.monlist_reply(t, IMPL_XNTPD)
+        packets = reply.packets
+        if mangler is not None:
+            # Degrade only what the apparatus recorded (post-loss), from
+            # the block's own stream — the sweep RNG is untouched.
+            packets = mangler.mangle(packets)
+        builder.add(host.ip, packets, reply.n_repeats)
+    return builder.finish()
+
+
+def _sweep_version(prober, state, reply_memo, active, t, rng):
+    """One block's slice of a mode-6 version sweep."""
+    builder = PackedCapturesBuilder(t)
+    src_ip = prober._ip
+    server_for = state.server_for
+    # Pass 1 — render every active host's reply.  Version replies don't
+    # depend on monitor-table state (no sync needed) and are rendered
+    # without logging the probe: version-scan loss models the probe being
+    # filtered before it reaches the target, so a lost probe leaves no
+    # monitor-table trace (unlike monlist loss, which drops only the
+    # response of an already-recorded probe).  A mode-6 reply is a pure
+    # function of the server's frozen config and ip, so the per-block
+    # memo lets later sweeps skip the render.
+    repliers = []
+    for host in active:
+        entry = reply_memo.get(host.ip)
+        if entry is None:
+            server = server_for(host)
+            entry = (server, server.respond_version(src_ip, 50557, t, record=False))
+            reply_memo[host.ip] = entry
+        server, reply = entry
+        if reply is not None:
+            repliers.append((host, server, reply))
+    if not repliers:
+        return builder.finish()
+    # Same RNG-order contract as the monlist sweep (pinned): loss is drawn
+    # AFTER reply generation, one draw per replying host, and the block
+    # draw equals len(repliers) scalar draws on the same stream.  The
+    # surviving hosts' probes are then recorded in host order — each
+    # record touches only that host's own table, so batching the records
+    # after the draws mutates exactly the tables the interleaved ordering
+    # did, identically.
+    draws = rng.random(len(repliers))
+    loss = prober._loss
+    for (host, server, reply), u in zip(repliers, draws):
+        if u < loss:
+            continue
+        if server.config.monlist_enabled:
+            # The probe's monitor-table trace is observable only where
+            # the table can ever be rendered — monlist amplifiers.  A
+            # version-only server's table is write-only dead state, so
+            # recording there is skipped (no RNG involved; the world's
+            # observable bytes are identical).
+            server.record_client(src_ip, 50557, MODE_CONTROL, 2, t, packets=server.config.loop_factor)
+        builder.add(host.ip, reply.packets, reply.n_repeats)
+    return builder.finish()
+
+
+def _onp_block_worker(ctx, block):
+    """Run the whole chronological sweep schedule over one host block.
+
+    Module-level (fork/pickle-friendly).  Returns (per-schedule-entry
+    PackedCaptures-or-None list, mangler fault counts dict or None).
+    Every stream consumed here is derived from (seed, names) — never from
+    shared mutable RNG state — so the block produces the same bytes in
+    any process, in any worker arrangement.
+    """
+    prober, host_pool, rng, schedule, plan = ctx
+    state = prober._state.block_view()
+    faults = prober._faults
+    mangler = faults.block_mangler(block) if faults is not None else None
+    reply_memo = {}
+    parts = []
+    for (t, mode), (outage, limit, _coverage) in zip(schedule, plan):
+        if outage:
+            parts.append(None)
+            continue
+        if mode == 7:
+            window = host_pool.monlist_block_bounds(block)
+            active = host_pool.monlist_alive(t, limit=limit, window=window)
+            srng = rng.child(f"monlist-{int(t)}").child(f"b{block}")
+            parts.append(_sweep_monlist(prober, state, active, t, srng, mangler))
+        else:
+            window = host_pool.version_block_bounds(block)
+            active = host_pool.version_alive(t, limit=limit, window=window)
+            srng = rng.child(f"version-{int(t)}").child(f"b{block}")
+            parts.append(_sweep_version(prober, state, reply_memo, active, t, srng))
+    counts = dict(mangler.log.counts) if mangler is not None else None
+    return parts, counts
 
 
 class OnpProber:
@@ -129,174 +322,72 @@ class OnpProber:
         #: come from the injector's own streams, never from the sweep RNG,
         #: so a clean profile leaves the sweeps byte-identical.
         self._faults = faults
-        #: ip -> (server, ProbeReply) memo for version sweeps.  A mode-6
-        #: reply is a pure function of the server's frozen config and ip
-        #: (servers are keyed by ip), so later sweeps skip the render.
-        self._version_replies = {}
 
-    def _sweep_targets(self, host_pool, mode, t, sample, faults):
-        """The active targets of one sweep, honoring outage/cutoff faults.
+    def _fault_plan(self, schedule, host_pool):
+        """Draw every sweep-level fault decision, serially, in schedule
+        order: [(outage, target-prefix limit or None, coverage)] per entry.
 
-        Returns ``None`` on a full-sample outage.  Partial sweeps probe
-        only a prefix of the target list; the prefix-limited liveness
-        query yields exactly the hosts ``targets[:k]`` + ``*_active(t)``
-        filtering would, in the same order (pinned by the liveness-index
-        equivalence test).
+        Parent-side by design — the injector's sweep-level stream is
+        consumed in one deterministic order before any block (or worker)
+        runs, so the plan is independent of ``--jobs``.
         """
-        limit = None
-        if faults is not None:
-            if faults.sample_outage(mode, t):
-                sample.outage = True
-                return None
-            cutoff = faults.sweep_cutoff(mode, t)
-            if cutoff is not None:
-                # Aborted sweep: only the first fraction of the target list
-                # was ever probed.  Unprobed hosts consume no draws, exactly
-                # as never-replying hosts already don't.
-                sample.coverage = cutoff
-                n_targets = len(host_pool.monlist_hosts if mode == 7 else host_pool.version_hosts)
-                limit = int(n_targets * cutoff)
-        if mode == 7:
-            return host_pool.monlist_alive(t, limit=limit)
-        return host_pool.version_alive(t, limit=limit)
-
-    def run_monlist_sample(self, host_pool, t, rng):
-        """One IPv4-wide monlist sweep at time ``t``.
-
-        Every *existing* host is probed (the sweep covers all of IPv4);
-        only hosts that are monlist-active for the probed implementation
-        reply.  A small loss rate models rate-limiting and filtering of
-        the single scanning source.
-        """
-        sample = OnpSample(t=t, mode=7)
         faults = self._faults
-        active = self._sweep_targets(host_pool, 7, t, sample, faults)
-        if active is None:
-            return sample
-        src_ip = self._ip
-        src_port = 50557 + (int(t) % 1000)  # hoisted: constant per sweep
-        sync = self._state.sync
-        # Pass 1 — probe every active host in target-list order: sync its
-        # table, record the probe (ntpd monitors all traffic regardless of
-        # response loss), and note which hosts would reply.  The reply
-        # conditions mirror NtpServer.monlist_reply exactly.
-        repliers = []
-        for host in active:
-            server = sync(host, t)
-            config = server.config
-            # Direct table.record: sync(host, t) already consumed every
-            # flush boundary <= t, so record_client's maybe_flush(t) would
-            # be a guaranteed no-op here.
-            server.table.record(src_ip, src_port, MODE_PRIVATE, 2, t, packets=config.loop_factor)
-            if config.monlist_enabled and IMPL_XNTPD in config.implementations:
-                repliers.append((host, server))
-        if not repliers:
-            return sample
-        # RNG-order contract (pinned; both run_* samplers obey it): the
-        # loss draw happens AFTER reply generation and ONLY for hosts that
-        # produced a reply.  One block draw consumes the PCG64 stream
-        # exactly like len(repliers) scalar random() calls (pinned by the
-        # block-vs-scalar RNG test), so each replier still sees the draw
-        # the per-host loop would have given it — reordering either part
-        # shifts every subsequent draw and breaks world determinism.
-        draws = rng.random(len(repliers))
-        loss = self._loss
-        mangle = faults.mangle_mode7 if faults is not None else None
-        captures = sample.captures
-        # Pass 2 — render replies only for survivors.  Rendering is a pure
-        # function of the table at ``t`` (no table mutates between the
-        # passes), so skipping lost replies changes no surviving bytes.
-        for (host, server), u in zip(repliers, draws):
-            if u < loss:
-                continue
-            reply = server.monlist_reply(t, IMPL_XNTPD)
-            packets = reply.packets
-            if mangle is not None:
-                # Degrade only what the apparatus recorded (post-loss), from
-                # the injector's own stream — the sweep RNG is untouched.
-                packets = mangle(packets)
-            captures.append(
-                ProbeCapture(
-                    target_ip=host.ip,
-                    t=t,
-                    packets=packets,
-                    n_repeats=reply.n_repeats,
-                )
-            )
-        return sample
+        plan = []
+        for t, mode in schedule:
+            outage = False
+            limit = None
+            coverage = 1.0
+            if faults is not None:
+                if faults.sample_outage(mode, t):
+                    outage = True
+                else:
+                    cutoff = faults.sweep_cutoff(mode, t)
+                    if cutoff is not None:
+                        # Aborted sweep: only the first fraction of the
+                        # target list was ever probed.  Unprobed hosts
+                        # consume no draws, exactly as never-replying
+                        # hosts already don't.
+                        coverage = cutoff
+                        n_targets = len(
+                            host_pool.monlist_hosts if mode == 7 else host_pool.version_hosts
+                        )
+                        limit = int(n_targets * cutoff)
+            plan.append((outage, limit, coverage))
+        return plan
 
-    def run_version_sample(self, host_pool, t, rng):
-        """One IPv4-wide mode-6 version sweep at time ``t``."""
-        sample = OnpSample(t=t, mode=6)
-        faults = self._faults
-        active = self._sweep_targets(host_pool, 6, t, sample, faults)
-        if active is None:
-            return sample
-        src_ip = self._ip
-        server_for = self._state.server_for
-        # Pass 1 — render every active host's reply.  Version replies don't
-        # depend on monitor-table state (no sync needed) and are rendered
-        # without logging the probe: version-scan loss models the probe
-        # being filtered before it reaches the target, so a lost probe
-        # leaves no monitor-table trace (unlike monlist loss, which drops
-        # only the response of an already-recorded probe).
-        reply_memo = self._version_replies
-        repliers = []
-        for host in active:
-            entry = reply_memo.get(host.ip)
-            if entry is None:
-                server = server_for(host)
-                entry = (server, server.respond_version(src_ip, 50557, t, record=False))
-                reply_memo[host.ip] = entry
-            server, reply = entry
-            if reply is not None:
-                repliers.append((host, server, reply))
-        if not repliers:
-            return sample
-        # Same RNG-order contract as run_monlist_sample (pinned): loss is
-        # drawn AFTER reply generation, one draw per replying host, and the
-        # block draw equals len(repliers) scalar draws on the same stream.
-        # The surviving hosts' probes are then recorded in host order —
-        # each record touches only that host's own table, so batching the
-        # records after the draws mutates exactly the tables the
-        # interleaved ordering did, identically.
-        draws = rng.random(len(repliers))
-        loss = self._loss
-        captures = sample.captures
-        for (host, server, reply), u in zip(repliers, draws):
-            if u < loss:
-                continue
-            if server.config.monlist_enabled:
-                # The probe's monitor-table trace is observable only where
-                # the table can ever be rendered — monlist amplifiers.  A
-                # version-only server's table is write-only dead state, so
-                # recording there is skipped (no RNG involved; the world's
-                # observable bytes are identical).
-                server.record_client(src_ip, 50557, MODE_CONTROL, 2, t, packets=server.config.loop_factor)
-            captures.append(
-                ProbeCapture(
-                    target_ip=host.ip,
-                    t=t,
-                    packets=reply.packets,
-                    n_repeats=reply.n_repeats,
-                )
-            )
-        return sample
-
-    def run_all(self, host_pool, rng, monlist_times=None, version_times=None):
+    def run_all(self, host_pool, rng, monlist_times=None, version_times=None, runner=None):
         """The full campaign, interleaved chronologically (table syncs must
-        advance monotonically); returns an :class:`OnpDataset`."""
+        advance monotonically); returns an :class:`OnpDataset`.
+
+        ``runner`` is an optional :class:`~repro.util.pool.ShardRunner`;
+        the sweep is partitioned along the pool's build blocks either way,
+        so serial and pooled runs are byte-identical.
+        """
         dataset = OnpDataset()
         schedule = [(t, 7) for t in (monlist_times or MONLIST_SAMPLE_TIMES)]
         schedule += [(t, 6) for t in (version_times or VERSION_SAMPLE_TIMES)]
         schedule.sort()
-        for t, mode in schedule:
+        plan = self._fault_plan(schedule, host_pool)
+        if runner is None:
+            runner = ShardRunner(1)
+        n_blocks = host_pool.n_blocks
+        ctx = (self, host_pool, rng, schedule, plan)
+        outputs = runner.map("onp", _onp_block_worker, ctx, n_blocks)
+        for i, ((t, mode), (outage, limit, coverage)) in enumerate(zip(schedule, plan)):
+            sample = OnpSample(t=t, mode=mode, outage=outage, coverage=coverage)
+            if not outage:
+                parts = [block_parts[i] for block_parts, _ in outputs]
+                sample.attach_packed(PackedCaptures.concat(parts).maybe_spill())
             if mode == 7:
-                dataset.monlist_samples.append(
-                    self.run_monlist_sample(host_pool, t, rng.child(f"monlist-{int(t)}"))
-                )
+                dataset.monlist_samples.append(sample)
             else:
-                dataset.version_samples.append(
-                    self.run_version_sample(host_pool, t, rng.child(f"version-{int(t)}"))
-                )
+                dataset.version_samples.append(sample)
+        faults = self._faults
+        if faults is not None:
+            # Block manglers counted into local logs; merge in block order
+            # so the world log is identical at any --jobs.
+            for _, counts in outputs:
+                if counts:
+                    for kind, n in counts.items():
+                        faults.log.record(kind, n)
         return dataset

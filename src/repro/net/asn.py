@@ -118,6 +118,30 @@ DARKNET_POOL = Prefix.parse("60.0.0.0/8")
 #: Reserved for measurement infrastructure (ONP prober, research scanners).
 MEASUREMENT_POOL = Prefix.parse("203.0.0.0/8")
 
+#: First octets the synthetic plan never hands out: the two reserved /8s
+#: above plus the real-Internet special ranges (this-network, loopback,
+#: RFC1918/CGNAT/link-local/TEST-NET carriers, multicast and beyond).
+_EXCLUDED_FIRST_OCTETS = frozenset(
+    {0, 10, 60, 100, 127, 169, 172, 192, 198, 203} | set(range(224, 256))
+)
+
+#: Shared overflow /8 pools, used by any continent once its own pool runs
+#: dry.  Only large-scale builds (``scale`` ≥ ~0.02, tens of thousands of
+#: ASes) ever reach them, so small worlds keep the tighter per-continent
+#: geographic clustering *and* their exact historical address plan — the
+#: allocator's behavior is unchanged until the moment it would previously
+#: have raised "address pool exhausted".
+_OVERFLOW_POOL = [
+    Prefix(octet << 24, 8)
+    for octet in range(1, 224)
+    if octet not in _EXCLUDED_FIRST_OCTETS
+    and not any(
+        prefix.network >> 24 == octet
+        for prefixes in _ADDRESS_POOLS.values()
+        for prefix in prefixes
+    )
+]
+
 
 @dataclass
 class AutonomousSystem:
@@ -149,29 +173,43 @@ class AutonomousSystem:
 
 
 class _PoolAllocator:
-    """Sequentially carves aligned prefixes out of per-continent /8 pools."""
+    """Sequentially carves aligned prefixes out of per-continent /8 pools,
+    spilling into a shared overflow pool when a continent runs dry."""
 
-    def __init__(self, pools):
+    _OVERFLOW_KEY = "*"
+
+    def __init__(self, pools, overflow=()):
         # cursor per continent: (pool index, next free address)
         self._pools = {cont: list(prefixes) for cont, prefixes in pools.items()}
         self._cursor = {cont: (0, prefixes[0].network) for cont, prefixes in pools.items()}
+        if overflow:
+            self._pools[self._OVERFLOW_KEY] = list(overflow)
+            self._cursor[self._OVERFLOW_KEY] = (0, overflow[0].network)
 
-    def allocate(self, continent, length):
-        """The next free, aligned prefix of the given length."""
-        pools = self._pools[continent]
-        index, next_free = self._cursor[continent]
+    def _try_allocate(self, key, length):
+        pools = self._pools[key]
+        index, next_free = self._cursor[key]
         size = 1 << (32 - length)
         while index < len(pools):
             pool = pools[index]
             # Align up to the prefix size.
             aligned = (next_free + size - 1) & ~(size - 1)
             if aligned + size - 1 <= pool.last:
-                self._cursor[continent] = (index, aligned + size)
+                self._cursor[key] = (index, aligned + size)
                 return Prefix(aligned, length)
             index += 1
             if index < len(pools):
                 next_free = pools[index].network
-        raise RuntimeError(f"address pool exhausted for {continent}")
+        return None
+
+    def allocate(self, continent, length):
+        """The next free, aligned prefix of the given length."""
+        prefix = self._try_allocate(continent, length)
+        if prefix is None and self._OVERFLOW_KEY in self._pools:
+            prefix = self._try_allocate(self._OVERFLOW_KEY, length)
+        if prefix is None:
+            raise RuntimeError(f"address pool exhausted for {continent}")
+        return prefix
 
 
 #: Typical prefix lengths allocated per network kind (larger nets for
@@ -200,7 +238,7 @@ class ASRegistry:
         if n_ases < len(CONTINENTS):
             raise ValueError("need at least one AS per continent")
         self._by_asn = {}
-        self._allocator = _PoolAllocator(_ADDRESS_POOLS)
+        self._allocator = _PoolAllocator(_ADDRESS_POOLS, overflow=_OVERFLOW_POOL)
         self._next_asn = 1
         self.special = {}
         self._generate(rng, n_ases)

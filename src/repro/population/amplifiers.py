@@ -25,6 +25,12 @@ import numpy as np
 
 from repro.net.asn import NetworkKind
 from repro.ntp.constants import IMPL_XNTPD, IMPL_XNTPD_OLD
+from repro.population.columns import (
+    HOST_BLOCKS,
+    MonlistColumns,
+    balanced_split,
+    host_record_batch,
+)
 from repro.population.osmodel import sample_system_attributes
 from repro.util.simtime import DAY, HOUR, WEEK, date_to_sim
 
@@ -35,6 +41,7 @@ __all__ = [
     "HostPool",
     "build_host_pool",
     "estimate_monlist_reply_bytes",
+    "HOST_BLOCKS",
 ]
 
 
@@ -220,9 +227,13 @@ class BackgroundClients:
         return out
 
 
-@dataclass
+@dataclass(slots=True)
 class NtpHost:
-    """One NTP server in the world model."""
+    """One NTP server in the world model.
+
+    ``slots=True`` matters at ``scale=1.0``: ~8.7M host records carry no
+    per-instance ``__dict__``, cutting resident memory by roughly half.
+    """
 
     ip: int
     asn: int
@@ -346,21 +357,30 @@ class _LivenessIndex:
         self._ends = np.array([self._end_times_of(h) for h in hosts], dtype=np.float64)
         self._indexed = len(hosts)
 
-    def alive(self, t, limit=None):
+    def alive(self, t, limit=None, window=None):
         """Hosts alive at ``t``, in source-list order.
 
         ``limit`` restricts the query to the first ``limit`` hosts of the
         source list (a partial sweep probes only a prefix of the target
         list) — identical to slicing the list first, without the slice.
+
+        ``window`` is an optional ``(lo, hi)`` half-open range of source
+        indices (a build block's slice); ``limit`` still applies as a
+        *global* prefix, so the union over all block windows equals the
+        unwindowed query exactly.
         """
         self._ensure()
         births, ends = self._births, self._ends
         hosts = self._hosts
-        if limit is not None and limit < len(hosts):
-            births = births[:limit]
-            ends = ends[:limit]
-        mask = (births <= t) & (t < ends)
-        return [hosts[i] for i in np.flatnonzero(mask)]
+        lo, hi = 0, len(hosts)
+        if window is not None:
+            lo, hi = window
+        if limit is not None and limit < hi:
+            hi = limit
+        if hi <= lo:
+            return []
+        mask = (births[lo:hi] <= t) & (t < ends[lo:hi])
+        return [hosts[lo + i] for i in np.flatnonzero(mask)]
 
     def count_alive(self, t):
         self._ensure()
@@ -386,9 +406,19 @@ def _exists_end(host):
 
 
 class HostPool:
-    """The generated population, with time-sliced views over each pool."""
+    """The generated population, with time-sliced views over each pool.
 
-    def __init__(self, hosts, params):
+    The pool also carries the *block structure* of its own construction:
+    hosts are generated in :data:`HOST_BLOCKS` fixed blocks plus a tail
+    block (giga amplifiers and scenario-planted hosts), and several
+    downstream phases (the ONP sweep shards, per-block fingerprints)
+    need each block's contiguous slice of the host/monlist/version
+    lists.  Because the filtered views preserve host order, each block's
+    monlist (and version) hosts are contiguous in the filtered lists,
+    so the bounds are plain ``(lo, hi)`` pairs.
+    """
+
+    def __init__(self, hosts, params, block_lengths=None):
         self.hosts = hosts
         self.params = params
         self._monlist_hosts = [h for h in hosts if h.monlist_amplifier]
@@ -396,6 +426,56 @@ class HostPool:
         self._monlist_index = _LivenessIndex(self._monlist_hosts, _monlist_end)
         self._version_index = _LivenessIndex(self._version_hosts, _version_end)
         self._exists_index = _LivenessIndex(self.hosts, _exists_end)
+        if block_lengths is None:
+            block_lengths = [len(hosts)]
+        if sum(block_lengths) != len(hosts):
+            raise ValueError("block lengths do not cover the host list")
+        self._block_lengths = list(block_lengths)
+        self._compute_block_bounds()
+        self._monlist_columns = None
+
+    def _compute_block_bounds(self):
+        """One pass over the host list computing each block's slice of
+        the host, monlist, and version lists."""
+        self._host_bounds = []
+        self._mon_bounds = []
+        self._ver_bounds = []
+        pos = mi = vi = 0
+        for length in self._block_lengths:
+            h0, m0, v0 = pos, mi, vi
+            for host in self.hosts[pos : pos + length]:
+                if host.monlist_amplifier:
+                    mi += 1
+                if host.responds_version:
+                    vi += 1
+            pos += length
+            self._host_bounds.append((h0, pos))
+            self._mon_bounds.append((m0, mi))
+            self._ver_bounds.append((v0, vi))
+
+    @property
+    def n_blocks(self):
+        return len(self._block_lengths)
+
+    def monlist_block_bounds(self, block):
+        return self._mon_bounds[block]
+
+    def version_block_bounds(self, block):
+        return self._ver_bounds[block]
+
+    def extend(self, new_hosts):
+        """Append scenario-planted hosts to the tail block, keeping the
+        filtered views, block bounds, and liveness indexes coherent."""
+        for host in new_hosts:
+            self.hosts.append(host)
+            if host.monlist_amplifier:
+                self._monlist_hosts.append(host)
+            if host.responds_version:
+                self._version_hosts.append(host)
+        self._block_lengths[-1] += len(new_hosts)
+        self._compute_block_bounds()
+        self._monlist_columns = None
+        self.invalidate_liveness_index()
 
     def __len__(self):
         return len(self.hosts)
@@ -409,6 +489,24 @@ class HostPool:
     def version_hosts(self):
         return self._version_hosts
 
+    def monlist_columns(self):
+        """Memoized :class:`MonlistColumns` over ``monlist_hosts``
+        (rebuilt if the list has grown since it was materialized)."""
+        cols = self._monlist_columns
+        if cols is None or cols.n_hosts != len(self._monlist_hosts):
+            cols = MonlistColumns(self._monlist_hosts)
+            self._monlist_columns = cols
+        return cols
+
+    def record_batch(self):
+        """Big-endian ``HOST_DTYPE`` serialization of the whole pool."""
+        return host_record_batch(self.hosts, _monlist_end, _version_end, _exists_end)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_monlist_columns"] = None  # derived; keep cache pickles lean
+        return state
+
     def invalidate_liveness_index(self):
         """Force index rebuilds after in-place edits to indexed hosts'
         birth/death/remediation/version-off attributes.  Appending hosts
@@ -417,11 +515,11 @@ class HostPool:
         self._version_index.invalidate()
         self._exists_index.invalidate()
 
-    def monlist_alive(self, t, limit=None):
-        return self._monlist_index.alive(t, limit=limit)
+    def monlist_alive(self, t, limit=None, window=None):
+        return self._monlist_index.alive(t, limit=limit, window=window)
 
-    def version_alive(self, t, limit=None):
-        return self._version_index.alive(t, limit=limit)
+    def version_alive(self, t, limit=None, window=None):
+        return self._version_index.alive(t, limit=limit, window=window)
 
     def mega_hosts(self):
         return [h for h in self.hosts if h.is_mega]
@@ -525,54 +623,61 @@ def _pick_end_host_ip(rng, kind_systems, pbl):
     raise RuntimeError("could not place an end host")
 
 
-def build_host_pool(rng, registry, pbl, params=None, remediation_model=None):
-    """Generate the full NTP host population.
+#: Cluster-id stride per build block: block ``b`` allocates cluster ids in
+#: ``[b * _CLUSTER_STRIDE, (b+1) * _CLUSTER_STRIDE)`` so ids never collide
+#: across blocks without any cross-block coordination.
+_CLUSTER_STRIDE = 2**22
 
-    Returns a :class:`HostPool`.  Determinism: everything is drawn from
-    child streams of ``rng``, so the same (seed, params, registry) triple
-    always yields the identical population.
+
+def _host_block_worker(ctx, block):
+    """Generate one block of the host population (cohort, DHCP chains,
+    weekly arrivals, and a slice of the non-amplifier rest).
+
+    Every draw comes from children of ``rng.child(f"block-{block}")`` —
+    a pure derivation from the master seed, so the block's bytes are
+    identical whether it runs in the parent or in a forked worker, in
+    any order relative to the other blocks.
     """
-    from repro.population.remediation import RemediationModel, version_survival_curve
+    from repro.population.remediation import version_survival_curve
 
-    params = params or PoolParams()
-    remediation = remediation_model or RemediationModel()
+    rng, registry, pbl, params, remediation, mon_counts, rest_counts = ctx
     version_curve = version_survival_curve()
-
-    place_rng = rng.child("placement")
-    attr_rng = rng.child("attrs")
-    table_rng = rng.child("tables")
-    client_rng = rng.child("clients")
-    remed_rng = rng.child("remediation")
-    churn_rng = rng.child("churn")
-    mega_rng = rng.child("mega")
+    brng = rng.child(f"block-{block}")
+    place_rng = brng.child("placement")
+    attr_rng = brng.child("attrs")
+    table_rng = brng.child("tables")
+    client_rng = brng.child("clients")
+    remed_rng = brng.child("remediation")
+    churn_rng = brng.child("churn")
 
     kind_systems = {kind: registry.systems_of_kind(kind) for kind in NetworkKind}
     hosts = []
+    cluster_base = block * _CLUSTER_STRIDE
     cluster_counter = 0
 
-    # ---- monlist amplifier cohort (initial) --------------------------------
-    n_monlist = params.n_monlist
-    n_end = int(n_monlist * params.end_host_fraction)
-    n_infra = n_monlist - n_end
-    attrs = sample_system_attributes(attr_rng, n_monlist, population="amplifier")
-    table_sizes = _sample_table_sizes(table_rng, n_monlist, params)
+    # ---- monlist amplifier cohort (this block's slice) ----------------------
+    n_mon = mon_counts[block]
+    n_end = int(n_mon * params.end_host_fraction)
+    n_infra = n_mon - n_end
+    attrs = sample_system_attributes(attr_rng, n_mon, population="amplifier")
+    table_sizes = _sample_table_sizes(table_rng, n_mon, params)
 
     infra_sizes = _sample_cluster_sizes(place_rng, n_infra)
     slots = []  # (ip, system, is_end_host, cluster_id)
     for size in infra_sizes:
         ip, system = _pick_infra_ip(place_rng, registry, pbl, kind_systems)
         for offset in range(size):
-            slots.append((ip + offset, system, False, cluster_counter))
+            slots.append((ip + offset, system, False, cluster_base + cluster_counter))
         cluster_counter += 1
     for _ in range(n_end):
         ip, system = _pick_end_host_ip(place_rng, kind_systems, pbl)
-        slots.append((ip, system, True, cluster_counter))
+        slots.append((ip, system, True, cluster_base + cluster_counter))
         cluster_counter += 1
 
     # Cluster-correlated remediation: members of a managed cluster usually
     # get patched together (§6.1's "closely-addressed ... managed together").
     cluster_u = {}
-    for index, (ip, system, is_end, cluster_id) in enumerate(slots[:n_monlist]):
+    for index, (ip, system, is_end, cluster_id) in enumerate(slots[:n_mon]):
         attr = attrs[index]
         if cluster_id not in cluster_u:
             cluster_u[cluster_id] = float(remed_rng.uniform(1e-12, 1.0))
@@ -604,7 +709,7 @@ def build_host_pool(rng, registry, pbl, params=None, remediation_model=None):
         host.clients = _make_background_clients(client_rng, client_rng, size, host.birth)
         hosts.append(host)
 
-    # ---- DHCP churn chains for end-host amplifiers --------------------------
+    # ---- DHCP churn chains for this block's end-host amplifiers -------------
     chained = []
     for host in hosts:
         if not host.is_end_host:
@@ -645,11 +750,14 @@ def build_host_pool(rng, registry, pbl, params=None, remediation_model=None):
             current = successor
     hosts.extend(chained)
 
-    # ---- weekly trickle of brand-new amplifiers ------------------------------
+    # ---- weekly trickle of brand-new amplifiers (1/HOST_BLOCKS each) --------
+    # Thinning a Poisson stream is exact: the sum of the blocks' independent
+    # Poisson(weekly / HOST_BLOCKS) draws is Poisson(weekly), so the global
+    # arrival process keeps its calibrated rate at any block count.
     arrivals = []
     publicity_start = date_to_sim(2014, 1, 10)
     n_weeks = int((params.window_end - publicity_start) // WEEK)
-    weekly = params.arrival_weekly_fraction * n_monlist
+    weekly = params.arrival_weekly_fraction * params.n_monlist / HOST_BLOCKS
     arrival_attrs_needed = int(weekly * n_weeks) + 8
     new_attrs = sample_system_attributes(attr_rng, arrival_attrs_needed, population="amplifier")
     attr_cursor = 0
@@ -693,64 +801,15 @@ def build_host_pool(rng, registry, pbl, params=None, remediation_model=None):
                 birth=birth,
                 remediation_time=remediation_time,
                 also_dns_resolver=bool(attr_rng.random() < params.dns_overlap_fraction),
-                cluster_id=cluster_counter,
+                cluster_id=cluster_base + cluster_counter,
             )
             cluster_counter += 1
             host.clients = _make_background_clients(client_rng, client_rng, size, birth)
             arrivals.append(host)
     hosts.extend(arrivals)
 
-    # ---- mega amplifiers (§3.4) ----------------------------------------------
-    infra_hosts = [h for h in hosts if h.monlist_amplifier and not h.is_end_host]
-    n_mega = min(params.n_mega, len(infra_hosts))
-    mega_indices = mega_rng.choice(len(infra_hosts), size=n_mega, replace=False)
-    mega_attrs = sample_system_attributes(mega_rng, n_mega, population="mega")
-    jp_systems = [registry.special[f"JP-NET-{i}"] for i in range(1, 8)]
-    for order, index in enumerate(mega_indices):
-        host = infra_hosts[int(index)]
-        host.is_mega = True
-        host.attrs = mega_attrs[order]
-        # Loop factors: heavy-tailed; most megas return 100KB..10MB.
-        host.loop_factor = max(2, int(mega_rng.bounded_pareto(0.6, 2.0, 2.0e4)))
-        host.responds_version = bool(mega_rng.random() < 0.5)
-        # Mega amps tend to persist (badly managed): slow their remediation.
-        if host.remediation_time is not None and mega_rng.random() < 0.35:
-            host.remediation_time = None
-    # The nine giga amplifiers, all in Japanese networks, largest ~136 GB.
-    giga_loops = [2_700_000, 900_000, 400_000, 250_000, 150_000, 90_000, 60_000, 40_000, 25_000]
-    giga_attrs = sample_system_attributes(mega_rng, params.giga_count, population="mega")
-    for i in range(params.giga_count):
-        system = jp_systems[i % len(jp_systems)]
-        ip = system.random_ip(mega_rng)
-        host = NtpHost(
-            ip=ip,
-            asn=system.asn,
-            continent=system.continent,
-            country=system.country,
-            is_end_host=False,
-            attrs=giga_attrs[i],
-            responds_version=bool(i % 2 == 0),
-            monlist_amplifier=True,
-            implementations=frozenset({IMPL_XNTPD}),
-            base_clients=600,
-            primed_full=True,
-            loop_factor=giga_loops[i % len(giga_loops)],
-            is_mega=True,
-            restart_interval=None,
-            birth=0.0,
-            remediation_time=date_to_sim(2014, 6, 7),  # fixed after JPCERT contact
-            cluster_id=cluster_counter,
-        )
-        cluster_counter += 1
-        host.clients = _make_background_clients(client_rng, client_rng, 600, 0.0)
-        hosts.append(host)
-
-    # ---- the rest of the NTP population (version/mode-3 only) ----------------
-    # Sized against the *concurrent* population (initial amplifiers), not the
-    # total host records: DHCP-chain and arrival records describe the same
-    # logical servers over time and must not eat into the non-amplifier
-    # majority (Table 2's cisco-heavy "All NTP" column depends on it).
-    n_rest = max(0, params.n_all_ntp - params.n_monlist - params.giga_count)
+    # ---- this block's slice of the non-amplifier rest -----------------------
+    n_rest = rest_counts[block]
     rest_attrs = sample_system_attributes(attr_rng, n_rest, population="all")
     version_u = remed_rng.uniform(1e-12, 1.0, size=n_rest)
     for i in range(n_rest):
@@ -779,11 +838,106 @@ def build_host_pool(rng, registry, pbl, params=None, remediation_model=None):
                 cluster_id=-1,
             )
         )
+    return hosts
 
-    # Version turn-off for amplifier hosts follows the same slow curve.
-    amp_version_u = remed_rng.uniform(1e-12, 1.0, size=len(hosts))
+
+def build_host_pool(rng, registry, pbl, params=None, remediation_model=None, runner=None):
+    """Generate the full NTP host population.
+
+    Returns a :class:`HostPool`.  Determinism: everything is drawn from
+    child streams of ``rng``, so the same (seed, params, registry) triple
+    always yields the identical population.
+
+    The population is generated in :data:`HOST_BLOCKS` fixed blocks, each
+    sized by :func:`balanced_split` and seeded by its own
+    ``rng.child(f"block-{b}")`` stream.  ``runner`` (a
+    :class:`repro.util.ShardRunner`) distributes the blocks across a fork
+    pool; with no runner — or with ``--jobs 1`` — the *same* blocks run
+    serially in the same order, so the merged pool is byte-identical at
+    any job count by construction.  Cross-block passes (mega selection,
+    the giga tail, the version-off curve) run in the parent over the
+    merged list, from their own named streams.
+    """
+    from repro.population.remediation import RemediationModel
+    from repro.population.remediation import version_survival_curve
+    from repro.util.pool import ShardRunner
+
+    params = params or PoolParams()
+    remediation = remediation_model or RemediationModel()
+    version_curve = version_survival_curve()
+    runner = runner or ShardRunner(1)
+
+    mon_counts = tuple(balanced_split(params.n_monlist, HOST_BLOCKS))
+    n_rest_total = max(0, params.n_all_ntp - params.n_monlist - params.giga_count)
+    rest_counts = tuple(balanced_split(n_rest_total, HOST_BLOCKS))
+    ctx = (rng, registry, pbl, params, remediation, mon_counts, rest_counts)
+    block_hosts = runner.map("hosts", _host_block_worker, ctx, HOST_BLOCKS)
+
+    hosts = []
+    block_lengths = []
+    for block in block_hosts:
+        hosts.extend(block)
+        block_lengths.append(len(block))
+
+    # ---- mega amplifiers (§3.4): a cross-block pass in the parent ------------
+    mega_rng = rng.child("mega")
+    infra_hosts = [h for h in hosts if h.monlist_amplifier and not h.is_end_host]
+    n_mega = min(params.n_mega, len(infra_hosts))
+    mega_indices = mega_rng.choice(len(infra_hosts), size=n_mega, replace=False)
+    mega_attrs = sample_system_attributes(mega_rng, n_mega, population="mega")
+    jp_systems = [registry.special[f"JP-NET-{i}"] for i in range(1, 8)]
+    for order, index in enumerate(mega_indices):
+        host = infra_hosts[int(index)]
+        host.is_mega = True
+        host.attrs = mega_attrs[order]
+        # Loop factors: heavy-tailed; most megas return 100KB..10MB.
+        host.loop_factor = max(2, int(mega_rng.bounded_pareto(0.6, 2.0, 2.0e4)))
+        host.responds_version = bool(mega_rng.random() < 0.5)
+        # Mega amps tend to persist (badly managed): slow their remediation.
+        if host.remediation_time is not None and mega_rng.random() < 0.35:
+            host.remediation_time = None
+    # The nine giga amplifiers, all in Japanese networks, largest ~136 GB.
+    # They form the tail block (index HOST_BLOCKS), which also receives the
+    # scenario layer's planted local amplifiers via :meth:`HostPool.extend`.
+    giga_client_rng = rng.child("giga-clients")
+    giga_cluster_base = HOST_BLOCKS * _CLUSTER_STRIDE
+    giga_loops = [2_700_000, 900_000, 400_000, 250_000, 150_000, 90_000, 60_000, 40_000, 25_000]
+    giga_attrs = sample_system_attributes(mega_rng, params.giga_count, population="mega")
+    gigas = []
+    for i in range(params.giga_count):
+        system = jp_systems[i % len(jp_systems)]
+        ip = system.random_ip(mega_rng)
+        host = NtpHost(
+            ip=ip,
+            asn=system.asn,
+            continent=system.continent,
+            country=system.country,
+            is_end_host=False,
+            attrs=giga_attrs[i],
+            responds_version=bool(i % 2 == 0),
+            monlist_amplifier=True,
+            implementations=frozenset({IMPL_XNTPD}),
+            base_clients=600,
+            primed_full=True,
+            loop_factor=giga_loops[i % len(giga_loops)],
+            is_mega=True,
+            restart_interval=None,
+            birth=0.0,
+            remediation_time=date_to_sim(2014, 6, 7),  # fixed after JPCERT contact
+            cluster_id=giga_cluster_base + i,
+        )
+        host.clients = _make_background_clients(giga_client_rng, giga_client_rng, 600, 0.0)
+        gigas.append(host)
+    hosts.extend(gigas)
+    block_lengths.append(len(gigas))
+
+    # Version turn-off for amplifier hosts follows the same slow curve —
+    # one parent-side vectorized draw over the merged list, so it is
+    # independent of how the blocks were distributed.
+    voff_rng = rng.child("version-off")
+    amp_version_u = voff_rng.uniform(1e-12, 1.0, size=len(hosts))
     for host, u in zip(hosts, amp_version_u):
         if host.monlist_amplifier and host.responds_version and host.version_off_time is None:
             host.version_off_time = version_curve.inverse(min(max(float(u), 1e-12), 1.0))
 
-    return HostPool(hosts, params)
+    return HostPool(hosts, params, block_lengths=block_lengths)

@@ -20,7 +20,7 @@ from repro.util.simtime import DAY, WEEK, date_to_sim
 __all__ = ["Victim", "VictimPool", "VictimParams", "build_victim_pool"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Victim:
     """One attack target."""
 
@@ -90,6 +90,8 @@ class VictimPool:
         self._appear = np.array([v.appear_time for v in victims], dtype=np.float64)
         self._until = np.array([v.active_until for v in victims], dtype=np.float64)
         self._popularity = np.array([v.popularity for v in victims], dtype=np.float64)
+        self._ip = np.array([v.ip for v in victims], dtype=np.int64)
+        self._asn = np.array([v.asn for v in victims], dtype=np.int64)
 
     def __len__(self):
         return len(self.victims)
@@ -101,16 +103,39 @@ class VictimPool:
         victims = self.victims
         return [victims[i] for i in self._active_indices(t)]
 
-    def sample_active(self, rng, t, size):
-        """Sample active victims at ``t``, weighted by popularity."""
+    def sample_active_indices(self, rng, t, size):
+        """Sample active victims at ``t``, weighted by popularity, returning
+        *global* victim indices.
+
+        This is the process-transportable form of :meth:`sample_active`
+        (the campaign's shard workers return victim indices, never victim
+        objects): the RNG draw sequence is identical, so both entry
+        points select the same victims from the same stream state.
+        """
         active = self._active_indices(t)
         if len(active) == 0:
             return []
         weights = self._popularity[active]
         weights = weights / weights.sum()
         indices = rng.choice(len(active), size=min(size, len(active)), replace=True, p=weights)
+        return [int(active[int(i)]) for i in indices]
+
+    def sample_active(self, rng, t, size):
+        """Sample active victims at ``t``, weighted by popularity."""
         victims = self.victims
-        return [victims[int(active[int(i)])] for i in indices]
+        return [victims[i] for i in self.sample_active_indices(rng, t, size)]
+
+    def record_batch(self):
+        """Big-endian ``VICTIM_DTYPE`` serialization of the pool."""
+        from repro.population.columns import VICTIM_DTYPE
+
+        batch = np.zeros(len(self.victims), dtype=VICTIM_DTYPE)
+        batch["ip"] = self._ip
+        batch["asn"] = self._asn
+        batch["appear"] = self._appear
+        batch["until"] = self._until
+        batch["popularity"] = self._popularity
+        return batch
 
 
 def _victim_as_ranking(rng, registry):

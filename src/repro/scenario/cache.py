@@ -148,7 +148,7 @@ def load_world(path, params):
     return payload["world"]
 
 
-def build_world_cached(params, cache_dir=None, quiet=True, note=None):
+def build_world_cached(params, cache_dir=None, quiet=True, note=None, jobs=1):
     """Build a world through the keyed directory cache (if configured).
 
     With no cache directory (argument or ``REPRO_WORLD_CACHE``), this is
@@ -156,6 +156,11 @@ def build_world_cached(params, cache_dir=None, quiet=True, note=None):
     a miss triggers a build followed by a best-effort save.  ``note`` is
     an optional callable receiving one human-readable status line
     (defaults to stderr when ``quiet`` is false).
+
+    ``jobs`` only parallelizes a cache-missed build; it is deliberately
+    NOT part of the cache key, because the built world is byte-identical
+    at any ``jobs`` — a world built with 8 workers is a valid hit for a
+    serial request and vice versa.
     """
     from repro.scenario.world import PaperWorld
 
@@ -167,14 +172,14 @@ def build_world_cached(params, cache_dir=None, quiet=True, note=None):
 
     path = cached_world_path(params, cache_dir)
     if path is None:
-        return PaperWorld.build(params=params, quiet=quiet)
+        return PaperWorld.build(params=params, quiet=quiet, jobs=jobs)
     try:
         world = load_world(path, params)
         tell(f"(loaded cached world from {path})")
         return world
     except CacheMiss as miss:
         tell(f"(world cache miss: {miss})")
-    world = PaperWorld.build(params=params, quiet=quiet)
+    world = PaperWorld.build(params=params, quiet=quiet, jobs=jobs)
     try:
         save_world(world, path)
         tell(f"(cached world to {path})")

@@ -39,10 +39,12 @@ from repro.population.amplifiers import (
     PoolParams,
     build_host_pool,
 )
+from repro.population.columns import PulseColumns
 from repro.population.dns_resolvers import DnsResolverPool
 from repro.population.osmodel import sample_system_attributes
 from repro.population.victims import VictimParams, build_victim_pool
 from repro.telescope.darknet import Ipv4Darknet, Ipv6Darknet
+from repro.util.pool import ShardRunner
 from repro.util.rng import RngStream
 from repro.util.simtime import DAY, HOUR, date_to_sim
 
@@ -106,6 +108,9 @@ class PaperWorld:
     #: Wall-clock seconds per build phase (see ``build``); purely
     #: observational — never feeds back into the simulation.
     build_timings: dict = field(default_factory=dict)
+    #: Per-phase shard-pool engagement and per-task timings (see
+    #: :class:`~repro.util.pool.ShardRunner`); observational only.
+    shard_stats: dict = field(default_factory=dict)
     #: The :class:`~repro.faults.InjectionLog` of every apparatus fault
     #: injected during the build (None on worlds from older caches).
     fault_log: object = None
@@ -214,10 +219,18 @@ class PaperWorld:
     # -- construction --------------------------------------------------------------
 
     @classmethod
-    def build(cls, seed=2014, scale=0.003, params=None, quiet=True):
-        """Run the whole study.  Deterministic in (seed, params)."""
+    def build(cls, seed=2014, scale=0.003, params=None, quiet=True, jobs=1):
+        """Run the whole study.  Deterministic in (seed, params).
+
+        ``jobs`` parallelizes the heavy build phases (hosts, campaign,
+        ONP sweeps) across a fork pool.  The world is byte-identical at
+        any ``jobs``: the work is partitioned along fixed build blocks
+        with derived per-block RNG streams, and the pool merely
+        distributes those same blocks (see :mod:`repro.util.pool`).
+        """
         params = params or WorldParams(seed=seed, scale=scale)
         rng = RngStream(params.seed, "paper-world")
+        runner = ShardRunner(jobs)
         # Fault decisions live on dedicated child streams ("faults/...") so
         # the clean (empty) profile leaves every simulation stream — and
         # therefore the world — byte-identical.
@@ -244,7 +257,9 @@ class PaperWorld:
         mark("registry")
 
         say("building host population")
-        hosts = build_host_pool(rng.child("hosts"), registry, pbl, PoolParams(scale=params.scale))
+        hosts = build_host_pool(
+            rng.child("hosts"), registry, pbl, PoolParams(scale=params.scale), runner=runner
+        )
         local = _plant_local_amplifiers(rng.child("local-amps"), registry, hosts)
         mark("hosts")
 
@@ -268,7 +283,7 @@ class PaperWorld:
         campaign = AttackCampaign(
             rng.child("campaign"), hosts, victims, CampaignParams(scale=params.scale)
         )
-        attacks = campaign.generate()
+        attacks = campaign.generate(runner=runner)
         attacks.extend(_scripted_frgp_event(rng.child("frgp-event"), registry, hosts, victims))
         attacks.sort(key=lambda a: a.start)
         mark("campaign")
@@ -283,13 +298,14 @@ class PaperWorld:
         say("running ONP probe campaign")
         state = AmplifierStateManager(rng.child("state"), RESEARCH_SCANNERS)
         state.register_malicious_activity(sweeps)
-        # One bulk registration for the whole campaign: appends are O(1) per
-        # pulse and each amplifier's list is sorted once, lazily, at first
-        # sync (registering per-attack used to re-sort every list per call).
-        state.register_pulses(pulse for attack in attacks for pulse in attack.pulses())
+        # The whole campaign's pulses as one columnar batch: per-host sync
+        # windows become searchsorted slices, and the ~25 legs per attack
+        # never exist as AttackPulse objects (at scale 1.0 that is tens of
+        # millions of objects the build no longer allocates).
+        state.register_pulse_columns(PulseColumns.from_attacks(attacks))
         mark("state")
         prober = OnpProber(state, faults=injector)
-        onp = prober.run_all(hosts, rng.child("onp"))
+        onp = prober.run_all(hosts, rng.child("onp"), runner=runner)
         mark("onp")
 
         say("collecting global traffic statistics")
@@ -328,6 +344,7 @@ class PaperWorld:
             dns_pool=dns_pool,
             local_amplifiers=local,
             build_timings=timings,
+            shard_stats=dict(runner.stats),
             fault_log=injector.log,
         )
 
@@ -382,9 +399,9 @@ def _plant_local_amplifiers(rng, registry, hosts):
             )
             host.clients = _local_clients(rng.child(f"clients-{as_name}-{i}"), base_clients)
             site_hosts.append(host)
-            hosts.hosts.append(host)
-            hosts.monlist_hosts.append(host)
-            hosts.version_hosts.append(host)
+        # Bulk-join the global pool: extend() grows the tail build block
+        # and keeps the pool's block bounds and column memos consistent.
+        hosts.extend(site_hosts)
         planted[as_name] = site_hosts
     return planted
 

@@ -4,6 +4,7 @@ These are the foundation layer; nothing in :mod:`repro.util` imports from any
 other ``repro`` subpackage.
 """
 
+from repro.util.pool import ShardRunner, available_cpus, fork_pool_gate
 from repro.util.rng import RngStream, derive_seed
 from repro.util.simtime import (
     SimClock,
@@ -31,6 +32,9 @@ from repro.util.stats import (
 )
 
 __all__ = [
+    "ShardRunner",
+    "available_cpus",
+    "fork_pool_gate",
     "RngStream",
     "derive_seed",
     "SimClock",

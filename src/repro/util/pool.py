@@ -1,0 +1,139 @@
+"""Shared fork-pool plumbing for the build, parse, and verify pools.
+
+Three subsystems shard work across processes — the world build
+(:mod:`repro.scenario.world`), the corpus parser
+(:mod:`repro.analysis.monlist_parse`), and the conformance matrix
+(:mod:`repro.verify.runner`).  They all need the same three decisions
+made the same way:
+
+* how many CPUs are actually usable (cgroup/affinity aware, not just
+  ``os.cpu_count()``),
+* whether a pool is worth forking at all (a ``--jobs 8`` request on a
+  one-CPU container must take the serial path rather than silently pay
+  fork overhead for nothing), and
+* how to ship a heavy context to workers without pickling it (set a
+  module global before the pool forks; the child inherits it
+  copy-on-write and only the small task index crosses the pipe).
+
+This module is the single home for those decisions.  It deliberately
+imports nothing else from ``repro`` so every layer can use it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["available_cpus", "fork_pool_gate", "ShardRunner"]
+
+
+def available_cpus():
+    """Usable CPU count: scheduler affinity when exposed (respects
+    cgroup/taskset limits), falling back to the raw core count."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def fork_pool_gate(jobs, n_tasks, min_tasks=2):
+    """Decide whether a fork pool should engage.
+
+    Returns ``(engaged, reason)``; ``reason`` is ``None`` when engaged,
+    otherwise a stable human-readable string recorded in provenance
+    (BENCH files, shard stats) so a silently-serial run is explainable
+    after the fact.
+    """
+    if jobs <= 1:
+        return False, "jobs <= 1: serial path requested"
+    if n_tasks < min_tasks:
+        if n_tasks <= 1:
+            return False, "single task: nothing to parallelize"
+        return False, f"{n_tasks} tasks < {min_tasks}: not worth forking"
+    if available_cpus() <= 1:
+        return False, "single CPU available: fork pool would add overhead"
+    import multiprocessing
+
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return False, "fork start method unavailable on this platform"
+    return True, None
+
+
+#: Pre-fork worker state: ``(fn, ctx)``.  Set by :meth:`ShardRunner.map`
+#: immediately before the pool forks so children inherit it
+#: copy-on-write; only the integer task index is pickled per task.
+_SHARD_STATE = None
+
+
+def _shard_worker(index):
+    """Run one task in a worker: returns ``(index, seconds, result)``."""
+    fn, ctx = _SHARD_STATE
+    t0 = time.perf_counter()
+    result = fn(ctx, index)
+    return index, time.perf_counter() - t0, result
+
+
+class ShardRunner:
+    """Deterministic fan-out of ``fn(ctx, i) for i in range(n_tasks)``.
+
+    The contract build phases rely on: results come back **in task
+    order** regardless of completion order, worker exceptions propagate
+    to the caller (a build error must fail loudly, never produce a
+    silently truncated world), and the serial fallback calls the exact
+    same ``fn`` with the exact same indices — so the merged output is
+    identical at any ``jobs`` by construction.
+
+    Per-phase engagement decisions and per-task wall-clock timings are
+    recorded in :attr:`stats` for BENCH provenance.
+    """
+
+    def __init__(self, jobs=1):
+        self.jobs = max(1, int(jobs))
+        #: phase name -> {engaged, reason, jobs, workers, tasks,
+        #: cpu_count, task_seconds}
+        self.stats = {}
+
+    def map(self, phase, fn, ctx, n_tasks):
+        """Run ``fn(ctx, i)`` for each task, returning results in order."""
+        engaged, reason = fork_pool_gate(self.jobs, n_tasks)
+        stat = {
+            "engaged": engaged,
+            "reason": reason,
+            "jobs": self.jobs,
+            "workers": min(self.jobs, n_tasks) if engaged else 1,
+            "tasks": n_tasks,
+            "cpu_count": available_cpus(),
+            "task_seconds": [0.0] * n_tasks,
+        }
+        self.stats[phase] = stat
+        if not engaged:
+            results = [None] * n_tasks
+            for i in range(n_tasks):
+                t0 = time.perf_counter()
+                results[i] = fn(ctx, i)
+                stat["task_seconds"][i] = round(time.perf_counter() - t0, 6)
+            return results
+        return self._map_pooled(stat, fn, ctx, n_tasks)
+
+    def _map_pooled(self, stat, fn, ctx, n_tasks):
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        context = multiprocessing.get_context("fork")
+        global _SHARD_STATE
+        _SHARD_STATE = (fn, ctx)
+        try:
+            results = [None] * n_tasks
+            with ProcessPoolExecutor(
+                max_workers=stat["workers"], mp_context=context
+            ) as pool:
+                futures = [pool.submit(_shard_worker, i) for i in range(n_tasks)]
+                for future in as_completed(futures):
+                    index, seconds, result = future.result()
+                    results[index] = result
+                    stat["task_seconds"][index] = round(seconds, 6)
+        finally:
+            _SHARD_STATE = None
+        return results

@@ -40,9 +40,10 @@ class Cell:
         return f"seed={self.seed} scale={self.scale:g} faults={self.fault_name}"
 
 
-def default_builder(cell):
+def default_builder(cell, jobs=1):
     """Build the world for a matrix cell (no cache: verification must
-    exercise the real construction path)."""
+    exercise the real construction path).  ``jobs`` shards the build
+    itself — the world is byte-identical at any value."""
     from repro.faults import resolve_fault_profile
     from repro.scenario.world import PaperWorld, WorldParams
 
@@ -51,7 +52,7 @@ def default_builder(cell):
         scale=cell.scale,
         faults=resolve_fault_profile(cell.fault_name),
     )
-    return PaperWorld.build(params=params)
+    return PaperWorld.build(params=params, jobs=jobs)
 
 
 class WorldRecord:
@@ -366,7 +367,9 @@ def _build_cells_parallel(cells, builder, world_invs, jobs, say):
     return results
 
 
-def run_conformance(seeds, scales, faults, builder=None, progress=None, jobs=1):
+def run_conformance(
+    seeds, scales, faults, builder=None, progress=None, jobs=1, build_jobs=1
+):
     """Build the matrix and evaluate every registered invariant.
 
     Parameters
@@ -384,10 +387,21 @@ def run_conformance(seeds, scales, faults, builder=None, progress=None, jobs=1):
         Matrix cells built (and world-scope invariants evaluated) over
         this many fork-pool workers.  The report is identical at any
         value: outcomes are merged in request order, never completion
-        order.  Falls back to the serial path when fork is unavailable
-        or the matrix has a single cell.
+        order.  Pool engagement is decided by the shared
+        :func:`repro.util.pool.fork_pool_gate` — the serial path runs
+        where fork is unavailable, the matrix has a single cell, or the
+        host exposes one CPU.
+    build_jobs:
+        Forwarded to :func:`default_builder`: each cell's *build* phases
+        shard over this many workers (byte-identical at any value).
+        Useful for few-but-large cells, where cell-level parallelism
+        alone leaves CPUs idle.  Ignored with an injected ``builder``.
     """
-    builder = builder or default_builder
+    if builder is None:
+        if build_jobs > 1:
+            builder = lambda cell: default_builder(cell, jobs=build_jobs)  # noqa: E731
+        else:
+            builder = default_builder
     say = progress or (lambda message: None)
 
     cells = [
@@ -399,12 +413,17 @@ def run_conformance(seeds, scales, faults, builder=None, progress=None, jobs=1):
     invariants = all_invariants()
     world_invs = [inv for inv in invariants if inv.scope == "world"]
 
+    from repro.util.pool import fork_pool_gate
+
     records = {}
     world_outcomes = None
     built = None
-    if jobs > 1 and len(cells) > 1:
+    engaged, gate_reason = fork_pool_gate(jobs, len(cells))
+    if engaged:
         say(f"building {len(cells)} worlds over {min(jobs, len(cells))} workers")
         built = _build_cells_parallel(cells, builder, world_invs, jobs, say)
+    elif jobs > 1:
+        say(f"cell pool not engaged: {gate_reason}")
     if built is not None:
         world_outcomes = {}
         for cell, (record, outcomes) in zip(cells, built):

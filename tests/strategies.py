@@ -36,6 +36,7 @@ __all__ = [
     "world_seeds",
     "world_scales",
     "fault_preset_names",
+    "shard_partitions",
     "build_packets",
     "capture_of",
     "BASE_PACKET_SETS",
@@ -159,3 +160,11 @@ world_scales = st.sampled_from([0.0002, 0.0004, 0.0005, 0.0008, 0.001])
 
 #: The registered fault presets.
 fault_preset_names = st.sampled_from(["clean", "paper", "hostile"])
+
+#: ``(n_items, n_blocks)`` pairs for the columnar build's block partitioner
+#: (:func:`repro.population.columns.balanced_split`): covers empty pools,
+#: fewer items than blocks, and block counts well past ``HOST_BLOCKS``.
+shard_partitions = st.tuples(
+    st.integers(min_value=0, max_value=100_000),
+    st.integers(min_value=1, max_value=64),
+)

@@ -21,15 +21,18 @@ from repro.util import RngStream, date_to_sim
 GOLDEN_SEED = 7
 GOLDEN_SCALE = 0.0005
 
-#: Recorded from the pre-optimization (eager, linear-scan) implementation.
-#: Any drift here means an "optimization" changed the simulated world.
+#: Recorded from the serial (``--jobs 1``) columnar implementation.  Any
+#: drift here means an "optimization" changed the simulated world.  The
+#: counts moved once, deliberately, when the build went columnar/blockified
+#: (v2.0.0): hosts and attacks are now drawn per block / per week from
+#: derived child streams, a different (still deterministic) draw order.
 GOLDEN_SUMMARY = """\
-PaperWorld(seed=7, scale=0.0005): 4430 host records, 500 victims, 988 attacks, 17551 scan sweeps
-NTP traffic fraction: 9.00e-06 (Nov) -> 4.49e-01 (peak 2014-02-11; paper: 1e-5 -> 1e-2 on 2014-02-11)
-Amplifier pool: 717 -> 95 (87% remediated; paper: 92%)
-Unique amplifier IPs: 957 (first sample 75%; paper: ~60%)
-BAF: monlist median 7.8x / Q3 14.6x / max 1.6e+09x; version 4.0/4.5/5.0 (paper: 4.3/15/1e9; 3.5/4.6/6.9)
-Victims observed: 149 (~298,000 full-scale-equivalent; paper: 437K), 3.75e+11 packets, undersampling 6.0x (paper: 3.8x)
+PaperWorld(seed=7, scale=0.0005): 4386 host records, 500 victims, 1011 attacks, 17551 scan sweeps
+NTP traffic fraction: 9.00e-06 (Nov) -> 5.90e-02 (peak 2014-02-10; paper: 1e-5 -> 1e-2 on 2014-02-11)
+Amplifier pool: 709 -> 61 (91% remediated; paper: 92%)
+Unique amplifier IPs: 931 (first sample 76%; paper: ~60%)
+BAF: monlist median 7.8x / Q3 15.5x / max 1.6e+09x; version 4.0/4.5/5.0 (paper: 4.3/15/1e9; 3.5/4.6/6.9)
+Victims observed: 157 (~314,000 full-scale-equivalent; paper: 437K), 1.76e+11 packets, undersampling 4.7x (paper: 3.8x)
 Window: 2014-01-10 .. 2014-04-18 (15 weekly samples)"""
 
 
@@ -232,6 +235,21 @@ def test_cache_rejects_other_package_version(tmp_path, golden_world, monkeypatch
     monkeypatch.setattr(cache_mod, "_package_version", lambda: "0.0-other")
     save_world(golden_world, str(path))
     monkeypatch.undo()
+    with pytest.raises(CacheMiss):
+        load_world(str(path), golden_world.params)
+
+
+def test_cache_rejects_pre_columnar_entry(tmp_path, golden_world, monkeypatch):
+    """An entry written by 1.2.0 — the last pre-columnar release, whose
+    world bytes differ — must miss; the 2.0.0 bump exists precisely to
+    invalidate those caches."""
+    import repro.scenario.cache as cache_mod
+
+    path = tmp_path / "world.pkl"
+    monkeypatch.setattr(cache_mod, "_package_version", lambda: "1.2.0")
+    save_world(golden_world, str(path))
+    monkeypatch.undo()
+    assert cache_mod._package_version() == "2.0.0"
     with pytest.raises(CacheMiss):
         load_world(str(path), golden_world.params)
 
