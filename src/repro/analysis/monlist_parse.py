@@ -424,7 +424,12 @@ def parse_sample(sample):
     return parsed
 
 
-def parse_corpus(samples, jobs=1):
+def _parse_task(samples, index):
+    """One shard-pool task: parse sample ``index`` of the shared list."""
+    return parse_sample(samples[index])
+
+
+def parse_corpus(samples, jobs=1, runner=None):
     """Parse a list of ONP samples, optionally across processes.
 
     Results are returned in input order regardless of worker count, so the
@@ -432,23 +437,28 @@ def parse_corpus(samples, jobs=1):
     pure function of its captures).  Pool engagement is decided by the
     shared :func:`repro.util.pool.fork_pool_gate` (fork start method,
     enough tasks to amortize result pickling, more than one usable CPU) —
-    otherwise the serial path runs.  The parent's parse-call counter
-    advances by ``len(samples)`` either way, preserving the parse-once
-    accounting.
+    otherwise the serial path runs.  The pooled path runs under the
+    supervised :class:`~repro.util.pool.ShardRunner` (pass ``runner`` to
+    configure timeouts/retries and to collect the "parse" shard stats),
+    so a crashed or hung parse worker retries and finally falls back to
+    an in-process parse instead of losing the corpus.
+
+    The parent's parse-call counter advances by one per sample either
+    way, preserving the parse-once accounting: serial and fallback
+    parses increment it directly, and pooled tasks — whose workers
+    incremented their own forked counters — are mirrored into this
+    process's ledger afterward.
     """
-    from repro.util.pool import fork_pool_gate
+    from repro.util.pool import ShardRunner
 
     samples = list(samples)
-    engaged, _reason = fork_pool_gate(jobs, len(samples), min_tasks=2 * max(1, jobs))
-    if engaged:
-        import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor
-
-        context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-            parsed = list(pool.map(parse_sample, samples))
-        # Workers incremented their own (forked) counters; mirror the
-        # work into this process's ledger.
-        add_parse_calls(len(samples))
-        return parsed
-    return [parse_sample(sample) for sample in samples]
+    if runner is None:
+        runner = ShardRunner(jobs)
+    parsed = runner.map(
+        "parse", _parse_task, samples, len(samples), min_tasks=2 * max(1, runner.jobs)
+    )
+    stat = runner.stats["parse"]
+    pooled = sum(1 for source in stat["task_source"] if source == "pooled")
+    if pooled:
+        add_parse_calls(pooled)
+    return parsed

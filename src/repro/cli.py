@@ -23,10 +23,18 @@ renders skip the simulation; the cache is validated against the requested
 (seed, scale, faults) and the package version, and silently rebuilt when
 stale.  ``--faults {clean,paper,hostile}`` builds the world through an
 imperfect measurement apparatus (see :mod:`repro.faults`).
+
+Pooled work (build phases, sample parsing, artifact rendering, the
+conformance matrix) runs under the supervised shard pool
+(:mod:`repro.util.pool`): ``--task-timeout`` bounds each pooled task's
+wall clock, ``--retries`` bounds its pooled attempts before the
+in-process serial fallback, and ``--checkpoint DIR`` makes a build
+resumable — the world state is persisted after every completed phase,
+so an interrupted ``repro`` run re-issued with the same flags resumes
+from the last finished phase to a byte-identical world.
 """
 
 import argparse
-import json
 import os
 import sys
 
@@ -46,6 +54,22 @@ def _world_params(args):
     scale = args.scale if args.scale is not None else resolve_preset(args.preset).scale
     faults = resolve_fault_profile(getattr(args, "faults", None))
     return WorldParams(seed=args.seed, scale=scale, faults=faults)
+
+
+def _supervision_kwargs(args):
+    """The per-task supervision knobs shared by every pooled subcommand."""
+    return {
+        "task_timeout": getattr(args, "task_timeout", None),
+        "retries": getattr(args, "retries", None),
+    }
+
+
+def _make_runner(jobs, args):
+    """A :class:`ShardRunner` honoring the CLI's supervision flags."""
+    from repro.util.pool import ShardRunner
+
+    kwargs = {key: value for key, value in _supervision_kwargs(args).items() if value is not None}
+    return ShardRunner(jobs=jobs, **kwargs)
 
 
 def build_or_load_world(args):
@@ -70,7 +94,13 @@ def build_or_load_world(args):
         except CacheMiss as miss:
             if os.path.exists(args.cache):
                 print(f"(stale world cache: {miss}; rebuilding)", file=sys.stderr)
-    world = PaperWorld.build(params=params, quiet=args.quiet, jobs=getattr(args, "jobs", 1))
+    world = PaperWorld.build(
+        params=params,
+        quiet=args.quiet,
+        jobs=getattr(args, "jobs", 1),
+        checkpoint_dir=getattr(args, "checkpoint", None),
+        **_supervision_kwargs(args),
+    )
     if args.cache:
         try:
             save_world(world, args.cache)
@@ -493,17 +523,15 @@ def render_artifact(world, artifact_id, context=None):
 # Parallel rendering
 # ---------------------------------------------------------------------------
 
-#: The pre-warmed context render workers inherit through fork.  Module
-#: global (not a closure) so the worker function pickles by reference.
-_WORKER_CONTEXT = None
+
+def _render_task(state, index):
+    """One supervised render task: ``state`` is ``(ctx, ids)`` COW-inherited."""
+    ctx, ids = state
+    return render_artifact(ctx.world, ids[index], context=ctx)
 
 
-def _render_in_worker(artifact_id):
-    return render_artifact(_WORKER_CONTEXT.world, artifact_id, context=_WORKER_CONTEXT)
-
-
-def render_many(world, artifact_ids, jobs=1, context=None, stats=None):
-    """Render several artifacts, optionally over a process pool.
+def render_many(world, artifact_ids, jobs=1, context=None, stats=None, runner=None):
+    """Render several artifacts, optionally over a supervised process pool.
 
     Returns the rendered texts in the order requested — never completion
     order — so the output is byte-identical at any ``jobs`` value (each
@@ -513,44 +541,55 @@ def render_many(world, artifact_ids, jobs=1, context=None, stats=None):
     parse-once contract across the whole pool.  Where fork is unavailable
     the serial path runs instead, with identical output.
 
+    Pooled renders run under :class:`repro.util.pool.ShardRunner`, so a
+    crashed, hung, or erroring render worker is retried and, as a last
+    resort, re-run serially in this process — the call either returns
+    every requested artifact or raises the genuine exception.
+
     ``stats``, when given, is a dict filled with pool diagnostics:
     whether the pool engaged, how many workers and tasks it ran, how many
-    CPUs the host exposes, and — when the pool did *not* engage — why.
+    CPUs the host exposes, why the pool did *not* engage, and a
+    ``supervision`` sub-dict of retry/timeout/crash/fallback counters.
     ``bench-pipeline`` reports these so a no-op parallel phase is
     explainable from the benchmark record alone.
     """
-    from repro.util.pool import available_cpus, fork_pool_gate
+    from repro.util.pool import ShardRunner, fork_pool_gate
 
-    global _WORKER_CONTEXT
     ids = [artifact_id.upper() for artifact_id in artifact_ids]
     ctx = context if context is not None else AnalysisContext(world, jobs=jobs)
     if stats is None:
         stats = {}
-    engaged, reason = fork_pool_gate(jobs, len(ids))
+    if runner is None:
+        runner = ShardRunner(jobs=jobs)
+    # Warm the parent before forking when the pool will engage, so workers
+    # inherit the parsed corpus copy-on-write instead of re-decoding it.
+    engaged, _ = fork_pool_gate(runner.jobs, len(ids))
+    if engaged:
+        ctx.warm()
+    outputs = runner.map("render", _render_task, (ctx, ids), len(ids))
+    shard = runner.stats["render"]
     stats.update(
         {
-            "pool_engaged": engaged,
-            "workers": min(jobs, len(ids)) if engaged else 0,
-            "tasks": len(ids),
-            "cpu_count": available_cpus(),
-            "reason": reason,
+            "pool_engaged": shard["engaged"],
+            "workers": shard["workers"] if shard["engaged"] else 0,
+            "tasks": shard["tasks"],
+            "cpu_count": shard["cpu_count"],
+            "reason": shard["reason"],
+            "supervision": {
+                key: shard[key]
+                for key in (
+                    "task_timeout",
+                    "retries_allowed",
+                    "retries",
+                    "timeouts",
+                    "worker_crashes",
+                    "task_errors",
+                    "serial_fallbacks",
+                )
+            },
         }
     )
-    if engaged:
-        import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor
-
-        mp_context = multiprocessing.get_context("fork")
-        ctx.warm()
-        _WORKER_CONTEXT = ctx
-        try:
-            with ProcessPoolExecutor(
-                max_workers=stats["workers"], mp_context=mp_context
-            ) as pool:
-                return list(pool.map(_render_in_worker, ids))
-        finally:
-            _WORKER_CONTEXT = None
-    return [render_artifact(ctx.world, artifact_id, context=ctx) for artifact_id in ids]
+    return outputs
 
 
 def _emit_artifacts(ids, outputs, out_dir=None):
@@ -560,12 +599,12 @@ def _emit_artifacts(ids, outputs, out_dir=None):
             print(text)
             print()
         return
+    from repro.util.io import atomic_write_text
+
     os.makedirs(out_dir, exist_ok=True)
     for artifact_id, text in zip(ids, outputs):
         path = os.path.join(out_dir, f"{artifact_id.upper()}.txt")
-        with open(path, "w") as handle:
-            handle.write(text)
-            handle.write("\n")
+        atomic_write_text(path, text + "\n")
     print(f"(wrote {len(ids)} artifacts to {out_dir})", file=sys.stderr)
 
 
@@ -619,6 +658,7 @@ def _bench_build(args):
     ``--max-rss-mb`` turn it into a CI regression gate.
     """
     from repro.measurement.capture_store import spill_threshold_bytes
+    from repro.util.io import atomic_write_json
 
     faults = resolve_fault_profile(args.faults)
     if args.scale is not None:
@@ -630,7 +670,13 @@ def _bench_build(args):
     params = None
     for scale in scales:
         params = WorldParams(seed=args.seed, scale=scale, faults=faults)
-        world = PaperWorld.build(params=params, quiet=args.quiet, jobs=args.jobs)
+        world = PaperWorld.build(
+            params=params,
+            quiet=args.quiet,
+            jobs=args.jobs,
+            checkpoint_dir=getattr(args, "checkpoint", None),
+            **_supervision_kwargs(args),
+        )
         timings = dict(world.build_timings)
         total = timings.pop("total")
         worst_total = max(worst_total, total)
@@ -651,7 +697,10 @@ def _bench_build(args):
                 "spill_threshold_mb": round(spill_threshold_bytes() / (1024 * 1024), 2),
             },
             "shards": world.shard_stats,
+            "supervision": _supervision_kwargs(args),
         }
+        if world.checkpoint_stats is not None:
+            run["checkpoint"] = world.checkpoint_stats
         runs.append(run)
         print("\n".join(world.timing_summary()))
         print(
@@ -667,9 +716,7 @@ def _bench_build(args):
         record.pop("n_ases", None)  # varies per run; each runs[] entry has its own
         record["scales"] = scales
         record["runs"] = runs
-    with open(args.out, "w") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(args.out, record)
     print(f"(wrote {args.out})")
     status = 0
     if args.max_seconds is not None and worst_total > args.max_seconds:
@@ -703,7 +750,12 @@ def _bench_pipeline(args):
     ids = list(ARTIFACTS)
 
     start = perf_counter()
-    world = PaperWorld.build(params=params, quiet=args.quiet)
+    world = PaperWorld.build(
+        params=params,
+        quiet=args.quiet,
+        checkpoint_dir=getattr(args, "checkpoint", None),
+        **_supervision_kwargs(args),
+    )
     build_seconds = perf_counter() - start
 
     context = AnalysisContext(world, jobs=args.jobs)
@@ -717,7 +769,14 @@ def _bench_pipeline(args):
 
     pool_stats = {}
     start = perf_counter()
-    parallel = render_many(world, ids, jobs=args.jobs, context=context, stats=pool_stats)
+    parallel = render_many(
+        world,
+        ids,
+        jobs=args.jobs,
+        context=context,
+        stats=pool_stats,
+        runner=_make_runner(args.jobs, args),
+    )
     parallel_seconds = perf_counter() - start
 
     identical = serial == parallel
@@ -739,9 +798,9 @@ def _bench_pipeline(args):
             "render_pool": pool_stats,
         }
     )
-    with open(args.out, "w") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from repro.util.io import atomic_write_json
+
+    atomic_write_json(args.out, record)
     print(f"Pipeline: {total:.2f}s wall clock ({len(ids)} artifacts, jobs={args.jobs})")
     for phase, seconds in record["phases"].items():
         print(f"  {phase:<16} {seconds:8.2f}s")
@@ -806,6 +865,7 @@ def _bench_verify(args):
         progress=progress,
         jobs=args.jobs,
         build_jobs=args.build_jobs,
+        **_supervision_kwargs(args),
     )
     total = perf_counter() - start
 
@@ -813,6 +873,8 @@ def _bench_verify(args):
     import time as _time
 
     from repro import __version__
+    from repro.util.io import atomic_write_json
+    from repro.util.pool import available_cpus
 
     record = {
         "seeds": seeds,
@@ -820,19 +882,19 @@ def _bench_verify(args):
         "faults": faults,
         "jobs": args.jobs,
         "build_jobs": args.build_jobs,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": available_cpus(),
         "cells": len(report.cells),
         "invariants_registered": report.invariants_run,
         "counts": report.counts(),
         "ok": report.ok,
+        "shards": report.shards,
+        "supervision": _supervision_kwargs(args),
         "total_seconds": round(total, 4),
         "package_version": __version__,
         "python": platform.python_version(),
         "unix_time": int(_time.time()),
     }
-    with open(args.out, "w") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(args.out, record)
     counts = report.counts()
     print(
         f"Verify: {total:.2f}s wall clock ({len(report.cells)} worlds, "
@@ -906,10 +968,12 @@ def _verify_world(args):
         progress=progress,
         jobs=args.jobs,
         build_jobs=args.build_jobs,
+        **_supervision_kwargs(args),
     )
     if args.report:
-        with open(args.report, "w", encoding="utf-8") as handle:
-            handle.write(report.to_json() + "\n")
+        from repro.util.io import atomic_write_text
+
+        atomic_write_text(args.report, report.to_json() + "\n")
         progress(f"wrote {args.report}")
     print(report.render())
     return 0 if report.ok else 1
@@ -966,7 +1030,35 @@ def _add_world_args(parser, scale_list=False):
         help="measurement-apparatus fault profile (default: clean)",
     )
     parser.add_argument("--cache", default=None, help="pickle path to cache/reuse the world")
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="persist build progress after every phase; an interrupted build "
+        "re-run with the same flags resumes from the last completed phase "
+        "(the resumed world is byte-identical to an uninterrupted one)",
+    )
     parser.add_argument("--quiet", action="store_true", default=False)
+    _add_supervision_args(parser)
+
+
+def _add_supervision_args(parser):
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any pooled task that exceeds this wall clock "
+        "(default: no per-task timeout)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pooled attempts per task before the in-process serial fallback "
+        "(default: 2 retries after the first attempt)",
+    )
 
 
 def _add_jobs_arg(parser):
@@ -1075,6 +1167,7 @@ def main(argv=None):
         help="exit nonzero if the matrix exceeds this wall-clock ceiling (CI smoke)",
     )
     p_bench_verify.add_argument("--quiet", action="store_true", default=False)
+    _add_supervision_args(p_bench_verify)
 
     p_figure = subparsers.add_parser("figure", help="render figures F1..F16")
     p_figure.add_argument("ids", nargs="+", metavar="F#")
@@ -1138,6 +1231,7 @@ def main(argv=None):
         "when cells are few but large (the report is identical at any N)",
     )
     p_verify.add_argument("--quiet", action="store_true", default=False)
+    _add_supervision_args(p_verify)
 
     p_manifest = subparsers.add_parser(
         "verify-manifest",
@@ -1224,7 +1318,9 @@ def main(argv=None):
     if args.command == "summary":
         print(world.summary(include_timings=args.timings, context=context))
     elif args.command in ("figure", "table", "render"):
-        outputs = render_many(world, args.ids, jobs=args.jobs, context=context)
+        outputs = render_many(
+            world, args.ids, jobs=args.jobs, context=context, runner=_make_runner(args.jobs, args)
+        )
         _emit_artifacts(args.ids, outputs, out_dir=getattr(args, "out_dir", None))
     elif args.command == "validate":
         print(_validate(context))

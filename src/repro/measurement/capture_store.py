@@ -20,6 +20,14 @@ occupying tens of GB of RSS.  The spill file is unlinked immediately
 after mapping: POSIX keeps the mapping alive through the open fd, so
 nothing leaks even on a crashed run.
 
+Spill files carry an integrity header (magic + payload length + CRC-32)
+that is validated before the payload is mapped: a truncated write (full
+disk, killed process) or corrupted file fails loudly, naming the path,
+instead of feeding garbage bytes into the analysis.  File names embed
+the writing PID so :func:`sweep_stale_spills` can remove files that a
+dead process left behind in a configured ``REPRO_SPILL_DIR`` (the
+window between ``mkstemp`` and ``unlink`` in a SIGKILLed run).
+
 A ``PackedCaptures`` also doubles as the worker→parent transport for the
 sharded ONP sweep (it pickles compactly) and as the cache-pickle form
 (``__getstate__`` re-inlines a spilled payload so a cached world never
@@ -29,11 +37,22 @@ depends on an unlinked temp file).
 from __future__ import annotations
 
 import os
+import re
+import struct
 import tempfile
+import zlib
 
 import numpy as np
 
-__all__ = ["PackedCaptures", "PackedCapturesBuilder", "spill_threshold_bytes"]
+__all__ = [
+    "PackedCaptures",
+    "PackedCapturesBuilder",
+    "SpillError",
+    "spill_threshold_bytes",
+    "write_spill",
+    "map_spill",
+    "sweep_stale_spills",
+]
 
 #: Environment knobs for the spill layer.
 SPILL_MB_ENV = "REPRO_SPILL_MB"
@@ -41,6 +60,18 @@ SPILL_DIR_ENV = "REPRO_SPILL_DIR"
 
 #: Default payload size past which a store spills to a memmap (256 MB).
 _DEFAULT_SPILL_MB = 256
+
+#: Spill-file integrity header: magic, payload length, CRC-32.
+SPILL_MAGIC = b"RSPILL01"
+_SPILL_HEADER = struct.Struct(">8sQI")
+SPILL_HEADER_SIZE = _SPILL_HEADER.size
+
+#: Spill file names embed the writing PID for the stale-file sweep.
+_SPILL_NAME_RE = re.compile(r"repro-spill-(\d+)-.*\.bin$")
+
+
+class SpillError(RuntimeError):
+    """A spill file failed integrity validation (always names the path)."""
 
 
 def spill_threshold_bytes():
@@ -50,6 +81,109 @@ def spill_threshold_bytes():
     except ValueError:
         mb = _DEFAULT_SPILL_MB
     return int(mb * 1024 * 1024)
+
+
+def write_spill(data, directory=None):
+    """Write payload bytes to a fresh spill file with the integrity
+    header; returns the file's path.  ``directory`` defaults to
+    ``REPRO_SPILL_DIR`` (or the system temp dir when unset)."""
+    if directory is None:
+        directory = os.environ.get(SPILL_DIR_ENV) or None
+    fd, path = tempfile.mkstemp(
+        prefix=f"repro-spill-{os.getpid()}-", suffix=".bin", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(
+                _SPILL_HEADER.pack(SPILL_MAGIC, len(data), zlib.crc32(data) & 0xFFFFFFFF)
+            )
+            handle.write(data)
+    except BaseException:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def map_spill(path):
+    """Validate a spill file's header and memory-map its payload.
+
+    Raises :class:`SpillError` naming the path when the file is shorter
+    than its header, carries the wrong magic, promises a different
+    payload length than it holds, or fails the checksum — garbage bytes
+    must never silently enter the analysis.
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError as exc:
+        raise SpillError(f"unreadable spill file {path}: {exc}") from None
+    if size < SPILL_HEADER_SIZE:
+        raise SpillError(
+            f"corrupt spill file {path}: {size} bytes is shorter than "
+            f"the {SPILL_HEADER_SIZE}-byte header"
+        )
+    with open(path, "rb") as handle:
+        magic, length, checksum = _SPILL_HEADER.unpack(handle.read(SPILL_HEADER_SIZE))
+    if magic != SPILL_MAGIC:
+        raise SpillError(f"corrupt spill file {path}: bad magic {magic!r}")
+    if size - SPILL_HEADER_SIZE != length:
+        raise SpillError(
+            f"short spill file {path}: header promises {length} payload bytes, "
+            f"file holds {size - SPILL_HEADER_SIZE}"
+        )
+    if length == 0:
+        return np.empty(0, dtype=np.uint8)
+    mapped = np.memmap(path, dtype=np.uint8, mode="r", offset=SPILL_HEADER_SIZE)
+    actual = zlib.crc32(mapped) & 0xFFFFFFFF
+    if actual != checksum:
+        raise SpillError(
+            f"corrupt spill file {path}: payload crc32 {actual:#010x} "
+            f"!= recorded {checksum:#010x}"
+        )
+    return mapped
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # EPERM and friends: the process exists but is not ours.
+        return True
+    return True
+
+
+def sweep_stale_spills(directory=None):
+    """Remove spill files left in ``REPRO_SPILL_DIR`` by dead processes.
+
+    Normally a spill file is unlinked the moment it is mapped, but a
+    process SIGKILLed inside that window leaves it behind.  Files from
+    live PIDs (including our own) are never touched.  Returns the list
+    of removed paths; a no-op when no spill directory is configured
+    (files in the system temp dir age out by other means).
+    """
+    if directory is None:
+        directory = os.environ.get(SPILL_DIR_ENV) or None
+    if not directory or not os.path.isdir(directory):
+        return []
+    removed = []
+    for name in sorted(os.listdir(directory)):
+        match = _SPILL_NAME_RE.match(name)
+        if not match:
+            continue
+        pid = int(match.group(1))
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        removed.append(path)
+    return removed
 
 
 class _CaptureView:
@@ -186,12 +320,12 @@ class PackedCaptures:
             threshold = spill_threshold_bytes()
         if self.payload.nbytes <= threshold:
             return self
-        spill_dir = os.environ.get(SPILL_DIR_ENV) or None
-        fd, path = tempfile.mkstemp(prefix="repro-spill-", suffix=".bin", dir=spill_dir)
+        # Reclaim anything a previously-killed run left in the spill dir
+        # before adding to it.
+        sweep_stale_spills()
+        path = write_spill(self.payload.tobytes())
         try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(self.payload.tobytes())
-            mapped = np.memmap(path, dtype=np.uint8, mode="r")
+            mapped = map_spill(path)
         finally:
             # The mapping (and the np.memmap's own fd) keeps the data
             # alive; unlinking now means no temp files survive the run.

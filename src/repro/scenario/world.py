@@ -114,6 +114,10 @@ class PaperWorld:
     #: The :class:`~repro.faults.InjectionLog` of every apparatus fault
     #: injected during the build (None on worlds from older caches).
     fault_log: object = None
+    #: :class:`~repro.scenario.checkpoint.BuildCheckpoint` provenance
+    #: (resumed?, phases loaded, saves) when ``checkpoint_dir`` was set;
+    #: None otherwise and on worlds from older caches.
+    checkpoint_stats: object = None
 
     # -- reporting -------------------------------------------------------------------
 
@@ -219,7 +223,17 @@ class PaperWorld:
     # -- construction --------------------------------------------------------------
 
     @classmethod
-    def build(cls, seed=2014, scale=0.003, params=None, quiet=True, jobs=1):
+    def build(
+        cls,
+        seed=2014,
+        scale=0.003,
+        params=None,
+        quiet=True,
+        jobs=1,
+        task_timeout=None,
+        retries=None,
+        checkpoint_dir=None,
+    ):
         """Run the whole study.  Deterministic in (seed, params).
 
         ``jobs`` parallelizes the heavy build phases (hosts, campaign,
@@ -227,126 +241,251 @@ class PaperWorld:
         any ``jobs``: the work is partitioned along fixed build blocks
         with derived per-block RNG streams, and the pool merely
         distributes those same blocks (see :mod:`repro.util.pool`).
+
+        ``task_timeout`` and ``retries`` tune the pool's supervision
+        layer (per-task wall-clock budget; extra pooled attempts before
+        the in-process serial fallback) — they affect scheduling only,
+        never the bytes of the result.  ``checkpoint_dir`` persists the
+        build state after every completed phase so an interrupted build
+        resumes from the last finished phase to a byte-identical world
+        (see :mod:`repro.scenario.checkpoint`).
         """
         params = params or WorldParams(seed=seed, scale=scale)
         rng = RngStream(params.seed, "paper-world")
-        runner = ShardRunner(jobs)
-        # Fault decisions live on dedicated child streams ("faults/...") so
-        # the clean (empty) profile leaves every simulation stream — and
-        # therefore the world — byte-identical.
-        injector = FaultInjector(params.faults, rng.child("faults"))
-        timings = {}
+        runner_kwargs = {}
+        if task_timeout is not None:
+            runner_kwargs["task_timeout"] = task_timeout
+        if retries is not None:
+            runner_kwargs["retries"] = retries
+        runner = ShardRunner(jobs, **runner_kwargs)
+        env = _BuildEnv(params=params, rng=rng, runner=runner, quiet=quiet)
+
+        checkpoint = None
+        checkpoint_stats = None
+        completed = []
+        state = None
+        if checkpoint_dir:
+            from repro.scenario.checkpoint import BuildCheckpoint
+
+            checkpoint = BuildCheckpoint(checkpoint_dir, params)
+            checkpoint_stats = checkpoint.stats
+            loaded = checkpoint.load()
+            if loaded is not None:
+                completed, state = loaded
+                env.say(
+                    f"resuming from checkpoint ({len(completed)} phases done: "
+                    f"{', '.join(completed)})"
+                )
+        resumed = bool(completed)
+        if state is None:
+            state = {
+                "timings": {},
+                # Fault decisions live on dedicated child streams
+                # ("faults/...") so the clean (empty) profile leaves every
+                # simulation stream — and therefore the world — byte-identical.
+                "injector": FaultInjector(params.faults, rng.child("faults")),
+            }
+        timings = state["timings"]
         build_start = time.perf_counter()
-        phase_start = build_start
+        for name, phase_fn in _BUILD_PHASES:
+            if name in completed:
+                continue
+            phase_start = time.perf_counter()
+            phase_fn(env, state)
+            timings[name] = timings.get(name, 0.0) + (time.perf_counter() - phase_start)
+            completed.append(name)
+            if checkpoint is not None:
+                checkpoint.save(completed, state)
+        if resumed:
+            # Wall clock for this process would undercount the resumed
+            # prefix; the per-phase sum is the honest total.
+            timings["total"] = sum(v for k, v in timings.items() if k != "total")
+        else:
+            timings["total"] = time.perf_counter() - build_start
+        if checkpoint is not None:
+            checkpoint.clear()
 
-        def say(message):
-            if not quiet:
-                print(f"[paper-world] {message}")
-
-        def mark(phase):
-            nonlocal phase_start
-            now = time.perf_counter()
-            timings[phase] = timings.get(phase, 0.0) + (now - phase_start)
-            phase_start = now
-
-        say(f"building registry ({params.resolved_n_ases()} ASes)")
-        registry = ASRegistry(rng.child("asn"), n_ases=params.resolved_n_ases())
-        table = RoutedBlockTable(registry)
-        pbl = PolicyBlockList(registry)
-        geo = GeoView(table)
-        mark("registry")
-
-        say("building host population")
-        hosts = build_host_pool(
-            rng.child("hosts"), registry, pbl, PoolParams(scale=params.scale), runner=runner
-        )
-        local = _plant_local_amplifiers(rng.child("local-amps"), registry, hosts)
-        mark("hosts")
-
-        say("building victim population")
-        victims = build_victim_pool(
-            rng.child("victims"), registry, pbl, VictimParams(scale=params.scale)
-        )
-        mark("victims")
-
-        say("generating scanner ecosystem")
-        ecosystem = ScannerEcosystem(
-            rng.child("scanners"),
-            scale=params.scale,
-            start=params.observation_start,
-            end=params.observation_end,
-        )
-        sweeps = ecosystem.all_sweeps()
-        mark("scanners")
-
-        say("generating attack campaign")
-        campaign = AttackCampaign(
-            rng.child("campaign"), hosts, victims, CampaignParams(scale=params.scale)
-        )
-        attacks = campaign.generate(runner=runner)
-        attacks.extend(_scripted_frgp_event(rng.child("frgp-event"), registry, hosts, victims))
-        attacks.sort(key=lambda a: a.start)
-        mark("campaign")
-
-        say("observing darknets")
-        darknet = Ipv4Darknet(rng.child("telescope"), faults=injector)
-        darknet.observe_all(sweeps)
-        darknet_v6 = Ipv6Darknet(rng.child("telescope-v6"))
-        darknet_v6.simulate_window(params.observation_start, params.observation_end)
-        mark("darknet")
-
-        say("running ONP probe campaign")
-        state = AmplifierStateManager(rng.child("state"), RESEARCH_SCANNERS)
-        state.register_malicious_activity(sweeps)
-        # The whole campaign's pulses as one columnar batch: per-host sync
-        # windows become searchsorted slices, and the ~25 legs per attack
-        # never exist as AttackPulse objects (at scale 1.0 that is tens of
-        # millions of objects the build no longer allocates).
-        state.register_pulse_columns(PulseColumns.from_attacks(attacks))
-        mark("state")
-        prober = OnpProber(state, faults=injector)
-        onp = prober.run_all(hosts, rng.child("onp"), runner=runner)
-        mark("onp")
-
-        say("collecting global traffic statistics")
-        arbor = ArborCollector(rng.child("arbor"), scale=params.scale, faults=injector).collect(
-            attacks, date_to_sim(2013, 11, 1), params.observation_end
-        )
-        mark("arbor")
-
-        say("measuring at regional ISPs")
-        isp = IspMeasurement(registry)
-        isp.observe_attacks(attacks)
-        isp.observe_sweeps(sweeps, scanner_scale=ecosystem.scanner_scale)
-        mark("isp")
-
-        dns_pool = DnsResolverPool(rng.child("dns"), scale=params.scale)
-        mark("dns")
-        timings["total"] = time.perf_counter() - build_start
-
-        say("done")
+        env.say("done")
         return cls(
             params=params,
-            registry=registry,
-            table=table,
-            pbl=pbl,
-            geo=geo,
-            hosts=hosts,
-            victims=victims,
-            sweeps=sweeps,
-            attacks=attacks,
-            state=state,
-            onp=onp,
-            arbor=arbor,
-            darknet=darknet,
-            darknet_v6=darknet_v6,
-            isp=isp,
-            dns_pool=dns_pool,
-            local_amplifiers=local,
+            registry=state["registry"],
+            table=state["table"],
+            pbl=state["pbl"],
+            geo=state["geo"],
+            hosts=state["hosts"],
+            victims=state["victims"],
+            sweeps=state["sweeps"],
+            attacks=state["attacks"],
+            state=state["state"],
+            onp=state["onp"],
+            arbor=state["arbor"],
+            darknet=state["darknet"],
+            darknet_v6=state["darknet_v6"],
+            isp=state["isp"],
+            dns_pool=state["dns_pool"],
+            local_amplifiers=state["local"],
             build_timings=timings,
             shard_stats=dict(runner.stats),
-            fault_log=injector.log,
+            fault_log=state["injector"].log,
+            checkpoint_stats=checkpoint_stats,
         )
+
+
+# -- build phases ----------------------------------------------------------------------
+#
+# The build is an ordered pipeline of named phases.  Each phase is a
+# function of ``(env, state)``: ``env`` carries the ephemeral build
+# apparatus (params, the master RNG, the shard runner, verbosity) and
+# ``state`` is the accumulating — and picklable — world-under-
+# construction that checkpoints persist between phases.  Every phase
+# draws only from RNG child streams derived statelessly by name, so
+# replaying the phase suffix after a resume is byte-identical to an
+# uninterrupted build.
+
+
+@dataclass
+class _BuildEnv:
+    """Ephemeral per-build apparatus handed to each phase."""
+
+    params: WorldParams
+    rng: object
+    runner: object
+    quiet: bool = True
+
+    def say(self, message):
+        if not self.quiet:
+            print(f"[paper-world] {message}")
+
+
+def _phase_registry(env, state):
+    env.say(f"building registry ({env.params.resolved_n_ases()} ASes)")
+    registry = ASRegistry(env.rng.child("asn"), n_ases=env.params.resolved_n_ases())
+    state["registry"] = registry
+    state["table"] = RoutedBlockTable(registry)
+    state["pbl"] = PolicyBlockList(registry)
+    state["geo"] = GeoView(state["table"])
+
+
+def _phase_hosts(env, state):
+    env.say("building host population")
+    hosts = build_host_pool(
+        env.rng.child("hosts"),
+        state["registry"],
+        state["pbl"],
+        PoolParams(scale=env.params.scale),
+        runner=env.runner,
+    )
+    state["local"] = _plant_local_amplifiers(
+        env.rng.child("local-amps"), state["registry"], hosts
+    )
+    state["hosts"] = hosts
+
+
+def _phase_victims(env, state):
+    env.say("building victim population")
+    state["victims"] = build_victim_pool(
+        env.rng.child("victims"),
+        state["registry"],
+        state["pbl"],
+        VictimParams(scale=env.params.scale),
+    )
+
+
+def _phase_scanners(env, state):
+    env.say("generating scanner ecosystem")
+    ecosystem = ScannerEcosystem(
+        env.rng.child("scanners"),
+        scale=env.params.scale,
+        start=env.params.observation_start,
+        end=env.params.observation_end,
+    )
+    state["sweeps"] = ecosystem.all_sweeps()
+    state["scanner_scale"] = ecosystem.scanner_scale
+
+
+def _phase_campaign(env, state):
+    env.say("generating attack campaign")
+    campaign = AttackCampaign(
+        env.rng.child("campaign"),
+        state["hosts"],
+        state["victims"],
+        CampaignParams(scale=env.params.scale),
+    )
+    attacks = campaign.generate(runner=env.runner)
+    attacks.extend(
+        _scripted_frgp_event(
+            env.rng.child("frgp-event"), state["registry"], state["hosts"], state["victims"]
+        )
+    )
+    attacks.sort(key=lambda a: a.start)
+    state["attacks"] = attacks
+
+
+def _phase_darknet(env, state):
+    env.say("observing darknets")
+    darknet = Ipv4Darknet(env.rng.child("telescope"), faults=state["injector"])
+    darknet.observe_all(state["sweeps"])
+    state["darknet"] = darknet
+    darknet_v6 = Ipv6Darknet(env.rng.child("telescope-v6"))
+    darknet_v6.simulate_window(env.params.observation_start, env.params.observation_end)
+    state["darknet_v6"] = darknet_v6
+
+
+def _phase_state(env, state):
+    env.say("running ONP probe campaign")
+    manager = AmplifierStateManager(env.rng.child("state"), RESEARCH_SCANNERS)
+    manager.register_malicious_activity(state["sweeps"])
+    # The whole campaign's pulses as one columnar batch: per-host sync
+    # windows become searchsorted slices, and the ~25 legs per attack
+    # never exist as AttackPulse objects (at scale 1.0 that is tens of
+    # millions of objects the build no longer allocates).
+    manager.register_pulse_columns(PulseColumns.from_attacks(state["attacks"]))
+    state["state"] = manager
+
+
+def _phase_onp(env, state):
+    prober = OnpProber(state["state"], faults=state["injector"])
+    state["onp"] = prober.run_all(state["hosts"], env.rng.child("onp"), runner=env.runner)
+
+
+def _phase_arbor(env, state):
+    env.say("collecting global traffic statistics")
+    collector = ArborCollector(
+        env.rng.child("arbor"), scale=env.params.scale, faults=state["injector"]
+    )
+    state["arbor"] = collector.collect(
+        state["attacks"], date_to_sim(2013, 11, 1), env.params.observation_end
+    )
+
+
+def _phase_isp(env, state):
+    env.say("measuring at regional ISPs")
+    isp = IspMeasurement(state["registry"])
+    isp.observe_attacks(state["attacks"])
+    isp.observe_sweeps(state["sweeps"], scanner_scale=state["scanner_scale"])
+    state["isp"] = isp
+
+
+def _phase_dns(env, state):
+    state["dns_pool"] = DnsResolverPool(env.rng.child("dns"), scale=env.params.scale)
+
+
+#: The build pipeline, in execution order.  Checkpoints store the prefix
+#: of completed phase names; renaming or reordering phases invalidates
+#: outstanding checkpoints (see ``BuildCheckpoint._reject_reason``).
+_BUILD_PHASES = (
+    ("registry", _phase_registry),
+    ("hosts", _phase_hosts),
+    ("victims", _phase_victims),
+    ("scanners", _phase_scanners),
+    ("campaign", _phase_campaign),
+    ("darknet", _phase_darknet),
+    ("state", _phase_state),
+    ("onp", _phase_onp),
+    ("arbor", _phase_arbor),
+    ("isp", _phase_isp),
+    ("dns", _phase_dns),
+)
 
 
 def _plant_local_amplifiers(rng, registry, hosts):

@@ -1,0 +1,175 @@
+"""Seeded process-chaos harness for the supervised shard pools.
+
+The supervision layer in :mod:`repro.util.pool` claims to survive three
+fault classes: a worker dying mid-task (OOM killer, segfault), a worker
+hanging past its deadline, and a worker hitting a transient I/O failure
+(a full disk, a flaky mount).  This module *manufactures* those faults
+on demand so the claim is testable, the same way :mod:`repro.faults`
+manufactures measurement-apparatus imperfections:
+
+* ``REPRO_CHAOS=kill:0.2,hang:0.1,enospc:0.05`` enables injection with
+  one probability per fault kind;
+* ``REPRO_CHAOS_SEED`` (default 0) seeds the decisions — every decision
+  is a pure hash of ``(seed, kind, phase, task index, attempt)``, so a
+  chaos run is exactly reproducible and a *retried* task faces fresh,
+  independent draws (a task killed on attempt 1 usually survives
+  attempt 2, which is precisely what the retry path exists for);
+* ``REPRO_CHAOS_HANG_S`` (default 30) is how long a "hang" sleeps.
+
+Injection happens **only inside pool worker processes** — the serial
+path and the supervisor's in-process fallback never consult this module,
+which is what guarantees a chaos-ridden build still terminates with the
+right answer: the worst case for any task is ``retries`` doomed pooled
+attempts followed by one clean in-process execution.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import signal
+import time
+
+__all__ = [
+    "CHAOS_ENV",
+    "CHAOS_SEED_ENV",
+    "CHAOS_HANG_ENV",
+    "FAULT_KINDS",
+    "ChaosSpecError",
+    "ChaosMonkey",
+    "parse_chaos_spec",
+    "chaos_from_env",
+]
+
+#: Environment knobs (see module docstring).
+CHAOS_ENV = "REPRO_CHAOS"
+CHAOS_SEED_ENV = "REPRO_CHAOS_SEED"
+CHAOS_HANG_ENV = "REPRO_CHAOS_HANG_S"
+
+#: Recognized fault kinds, in decision-priority order.
+FAULT_KINDS = ("kill", "hang", "enospc")
+
+_DEFAULT_HANG_SECONDS = 30.0
+
+
+class ChaosSpecError(ValueError):
+    """A malformed ``REPRO_CHAOS`` spec: always an error, never ignored.
+
+    A typo'd spec silently injecting nothing would make a "chaos suite
+    passed" claim vacuous, so the parent validates the spec loudly
+    before any worker forks.
+    """
+
+
+def parse_chaos_spec(text):
+    """Parse ``"kind:prob,kind:prob"`` into ``{kind: probability}``."""
+    spec = {}
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, sep, prob_text = clause.partition(":")
+        kind = kind.strip()
+        if not sep:
+            raise ChaosSpecError(
+                f"bad chaos clause {clause!r}: expected kind:probability"
+            )
+        if kind not in FAULT_KINDS:
+            raise ChaosSpecError(
+                f"unknown chaos fault {kind!r}; choose from {', '.join(FAULT_KINDS)}"
+            )
+        try:
+            probability = float(prob_text)
+        except ValueError:
+            raise ChaosSpecError(
+                f"bad chaos probability {prob_text!r} in clause {clause!r}"
+            ) from None
+        if not 0.0 <= probability <= 1.0:
+            raise ChaosSpecError(
+                f"chaos probability {probability!r} outside [0, 1] in clause {clause!r}"
+            )
+        spec[kind] = probability
+    if not spec:
+        raise ChaosSpecError(f"empty chaos spec {text!r}")
+    return spec
+
+
+class ChaosMonkey:
+    """Deterministic fault injection for shard-pool workers."""
+
+    def __init__(self, spec, seed=0, hang_seconds=None):
+        self.spec = dict(spec)
+        self.seed = int(seed)
+        self.hang_seconds = (
+            _DEFAULT_HANG_SECONDS if hang_seconds is None else float(hang_seconds)
+        )
+
+    def _uniform(self, kind, phase, index, attempt):
+        material = repr((self.seed, kind, phase, int(index), int(attempt)))
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def decide(self, phase, index, attempt):
+        """The fault (or None) for this ``(phase, task, attempt)``.
+
+        Pure and stateless: the same arguments always yield the same
+        decision, in any process, which keeps chaos runs replayable.
+        """
+        for kind in FAULT_KINDS:
+            probability = self.spec.get(kind, 0.0)
+            if probability and self._uniform(kind, phase, index, attempt) < probability:
+                return kind
+        return None
+
+    def unleash(self, phase, index, attempt):
+        """Inject the decided fault into the *current* process.
+
+        ``kill`` SIGKILLs this process (a crash the parent sees as a
+        broken pipe + signal exit code); ``hang`` sleeps
+        ``hang_seconds`` and then continues normally (so a generous
+        timeout merely observes a slow task, a tight one kills it);
+        ``enospc`` raises :class:`OSError` with ``ENOSPC`` (an in-task
+        exception, distinct from a crash).  Returns the decision.
+        """
+        kind = self.decide(phase, index, attempt)
+        if kind is None:
+            return None
+        if kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "hang":
+            time.sleep(self.hang_seconds)
+        elif kind == "enospc":
+            raise OSError(
+                errno.ENOSPC,
+                f"chaos: injected ENOSPC in {phase}[{index}] attempt {attempt}",
+            )
+        return kind
+
+
+def chaos_from_env(environ=None):
+    """The :class:`ChaosMonkey` configured by ``REPRO_CHAOS``, or None.
+
+    Raises :class:`ChaosSpecError` on a malformed spec or seed — callers
+    in the pool's *parent* process invoke this before forking precisely
+    so a typo fails the run instead of silently disabling the chaos.
+    """
+    env = os.environ if environ is None else environ
+    text = env.get(CHAOS_ENV)
+    if not text or not text.strip():
+        return None
+    spec = parse_chaos_spec(text)
+    seed_text = env.get(CHAOS_SEED_ENV, "0")
+    try:
+        seed = int(seed_text)
+    except ValueError:
+        raise ChaosSpecError(f"bad {CHAOS_SEED_ENV} {seed_text!r}") from None
+    hang_text = env.get(CHAOS_HANG_ENV)
+    if hang_text is None:
+        hang_seconds = None
+    else:
+        try:
+            hang_seconds = float(hang_text)
+        except ValueError:
+            raise ChaosSpecError(f"bad {CHAOS_HANG_ENV} {hang_text!r}") from None
+    return ChaosMonkey(spec, seed=seed, hang_seconds=hang_seconds)

@@ -1,0 +1,49 @@
+"""Atomic file writes: temp file + ``os.replace``.
+
+The idiom the world cache has always used (:mod:`repro.scenario.cache`),
+extracted so every artifact writer — BENCH records, golden manifests,
+conformance reports, rendered artifacts — gets the same guarantee: a
+reader never observes a truncated file.  Either the old bytes are still
+there or the new bytes are complete; an interrupted writer leaves at
+worst an orphaned ``*.tmp.<pid>`` alongside, never a half-written
+target.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_bytes(path, data):
+    """Write ``data`` to ``path`` atomically; returns ``path``."""
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path, text, encoding="utf-8"):
+    """Write ``text`` to ``path`` atomically; returns ``path``."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path, record, indent=2, sort_keys=True):
+    """Serialize ``record`` and write it atomically with a trailing
+    newline.  Serialization happens fully *before* the first byte is
+    written, so an unserializable record never touches the target."""
+    text = json.dumps(record, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_text(path, text)

@@ -100,8 +100,10 @@ def load_manifest(path=DEFAULT_MANIFEST_PATH):
 
 
 def write_manifest(manifest, path=DEFAULT_MANIFEST_PATH):
+    from repro.util.io import atomic_write_text
+
     path = Path(path)
-    path.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    atomic_write_text(path, json.dumps(manifest, indent=2, sort_keys=False) + "\n")
     return path
 
 

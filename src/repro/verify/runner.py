@@ -206,6 +206,9 @@ class ConformanceReport:
     cells: list = field(default_factory=list)
     outcomes: list = field(default_factory=list)
     invariants_run: int = 0
+    #: Shard-pool provenance for the cell-build pool (engagement, per-task
+    #: timings, supervisor fault counters); empty on serial runs.
+    shards: dict = field(default_factory=dict)
 
     @property
     def ok(self):
@@ -231,6 +234,11 @@ class ConformanceReport:
         return counts
 
     def as_dict(self):
+        # ``shards`` is deliberately NOT serialized: the report dict is
+        # contractually identical at any ``jobs`` value, while pool
+        # provenance (worker counts, per-task timings, retry counters)
+        # varies by run.  ``bench-verify`` records ``report.shards``
+        # separately in BENCH_verify.json.
         return {
             "ok": self.ok,
             "invariants_registered": self.invariants_run,
@@ -304,26 +312,22 @@ def _evaluate(inv, args, subject, outcomes):
     )
 
 
-#: Pre-fork state for conformance pool workers: ``(cells, builder,
-#: world_invariants)``, inherited copy-on-write so an injected builder
-#: closure never needs to be pickled.
-_CONFORMANCE_STATE = None
-
-
-def _conformance_worker(index):
+def _cell_task(state, index):
     """Build one matrix cell and run its world-scope checks in-process.
 
-    Returns ``(index, record, outcomes, parse_delta)``: the record has
-    every group-consumed view warmed and its raw parsed corpus dropped
+    One supervised shard-pool task (also the serial/fallback body).
+    Returns ``(record, outcomes, parse_delta)``: the record has every
+    group-consumed view warmed and its raw parsed corpus dropped
     (smaller pickle; the parent only reads derived views), ``outcomes``
     are the world-scope results in invariant registration order, and
     ``parse_delta`` is how many sample parses this task performed — the
-    parent folds it into its own ledger so the parse-once accounting
-    stays whole across the pool.
+    parent folds *pooled* tasks' deltas into its own ledger so the
+    parse-once accounting stays whole across the pool (serial and
+    fallback tasks already incremented the parent's counter directly).
     """
     from repro.analysis.monlist_parse import parse_call_count
 
-    cells, builder, world_invs = _CONFORMANCE_STATE
+    cells, builder, world_invs = state
     cell = cells[index]
     before = parse_call_count()
     record = WorldRecord(cell, builder(cell))
@@ -332,43 +336,19 @@ def _conformance_worker(index):
         _evaluate(inv, (record,), cell.label(), outcomes)
     record.warm_group_views()
     record.drop_parsed_corpus()
-    return index, record, outcomes, parse_call_count() - before
-
-
-def _build_cells_parallel(cells, builder, world_invs, jobs, say):
-    """Build all cells over a fork pool; None when fork is unavailable.
-
-    Returns ``[(record, world_outcomes), ...]`` in ``cells`` order — the
-    completion order of the pool never leaks into the report.
-    """
-    import multiprocessing
-    from concurrent.futures import ProcessPoolExecutor, as_completed
-
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:
-        return None
-    from repro.analysis.monlist_parse import add_parse_calls
-
-    global _CONFORMANCE_STATE
-    _CONFORMANCE_STATE = (cells, builder, world_invs)
-    try:
-        workers = min(jobs, len(cells))
-        results = [None] * len(cells)
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures = [pool.submit(_conformance_worker, i) for i in range(len(cells))]
-            for future in as_completed(futures):
-                index, record, outcomes, parse_delta = future.result()
-                results[index] = (record, outcomes)
-                add_parse_calls(parse_delta)
-                say(f"built {cells[index].label()}")
-    finally:
-        _CONFORMANCE_STATE = None
-    return results
+    return record, outcomes, parse_call_count() - before
 
 
 def run_conformance(
-    seeds, scales, faults, builder=None, progress=None, jobs=1, build_jobs=1
+    seeds,
+    scales,
+    faults,
+    builder=None,
+    progress=None,
+    jobs=1,
+    build_jobs=1,
+    task_timeout=None,
+    retries=None,
 ):
     """Build the matrix and evaluate every registered invariant.
 
@@ -396,6 +376,12 @@ def run_conformance(
         shard over this many workers (byte-identical at any value).
         Useful for few-but-large cells, where cell-level parallelism
         alone leaves CPUs idle.  Ignored with an injected ``builder``.
+    task_timeout, retries:
+        Supervision knobs for the cell pool (see
+        :class:`~repro.util.pool.ShardRunner`): per-cell wall-clock
+        budget and extra pooled attempts before the in-process fallback.
+        They affect scheduling only — a retried cell re-derives the same
+        seeded world and the same outcomes.
     """
     if builder is None:
         if build_jobs > 1:
@@ -413,39 +399,50 @@ def run_conformance(
     invariants = all_invariants()
     world_invs = [inv for inv in invariants if inv.scope == "world"]
 
-    from repro.util.pool import fork_pool_gate
+    from repro.analysis.monlist_parse import add_parse_calls
+    from repro.util.pool import ShardRunner, fork_pool_gate
 
-    records = {}
-    world_outcomes = None
-    built = None
+    runner_kwargs = {}
+    if task_timeout is not None:
+        runner_kwargs["task_timeout"] = task_timeout
+    if retries is not None:
+        runner_kwargs["retries"] = retries
+    runner = ShardRunner(jobs, **runner_kwargs)
     engaged, gate_reason = fork_pool_gate(jobs, len(cells))
     if engaged:
         say(f"building {len(cells)} worlds over {min(jobs, len(cells))} workers")
-        built = _build_cells_parallel(cells, builder, world_invs, jobs, say)
     elif jobs > 1:
         say(f"cell pool not engaged: {gate_reason}")
-    if built is not None:
-        world_outcomes = {}
-        for cell, (record, outcomes) in zip(cells, built):
-            records[cell] = record
-            world_outcomes[cell] = outcomes
-    else:
-        for cell in cells:
-            say(f"building {cell.label()}")
-            records[cell] = WorldRecord(cell, builder(cell))
 
-    report = ConformanceReport(cells=cells, invariants_run=len(invariants))
+    def built_one(index):
+        say(f"built {cells[index].label()}")
+
+    state = (cells, builder, world_invs)
+    outputs = runner.map("cells", _cell_task, state, len(cells), on_result=built_one)
+    cell_stat = runner.stats["cells"]
+    records = {}
+    world_outcomes = {}
+    for cell, source, (record, outcomes, parse_delta) in zip(
+        cells, cell_stat["task_source"], outputs
+    ):
+        records[cell] = record
+        world_outcomes[cell] = outcomes
+        if source == "pooled":
+            # Serial/fallback tasks already advanced the parent's
+            # parse-call ledger in-process; only pooled work (counted in
+            # a forked copy) needs mirroring.
+            add_parse_calls(parse_delta)
+
+    report = ConformanceReport(
+        cells=cells, invariants_run=len(invariants), shards=dict(runner.stats)
+    )
     say(f"evaluating {len(invariants)} invariants over {len(cells)} worlds")
 
     for inv in invariants:
         if inv.scope == "world":
-            if world_outcomes is not None:
-                position = world_invs.index(inv)
-                for cell in cells:
-                    report.outcomes.append(world_outcomes[cell][position])
-            else:
-                for cell in cells:
-                    _evaluate(inv, (records[cell],), cell.label(), report.outcomes)
+            position = world_invs.index(inv)
+            for cell in cells:
+                report.outcomes.append(world_outcomes[cell][position])
         elif inv.scope == "scale":
             for seed in seeds:
                 for fault in faults:
