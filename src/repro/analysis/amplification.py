@@ -10,7 +10,14 @@ exhaustion on Ethernet links; an ablation benchmark compares the two.
 from collections import defaultdict
 from dataclasses import dataclass
 
-from repro.net.framing import MIN_ONWIRE_FRAME, UDP_IP_HEADERS, on_wire_bytes
+import numpy as np
+
+from repro.net.framing import (
+    MIN_ONWIRE_FRAME,
+    UDP_IP_HEADERS,
+    on_wire_bytes,
+    on_wire_bytes_array,
+)
 from repro.ntp.wire import decode_mode6
 from repro.util.stats import boxplot_summary, rank_series
 
@@ -53,11 +60,30 @@ def payload_baf(table_or_capture):
 
 def sample_baf_boxplot(parsed_sample):
     """Figure 4b: the five-number BAF summary of one monlist sample."""
+    columns = getattr(parsed_sample, "columns", None)
+    if columns is not None:
+        lo, hi = columns.sample_table_span(parsed_sample.sample_index)
+        totals = (
+            columns.table_native("wire_once")[lo:hi]
+            * columns.table_native("n_repeats")[lo:hi]
+        )
+        bafs = totals.astype(np.float64) / float(QUERY_ON_WIRE)
+        return boxplot_summary(bafs.tolist())
     return boxplot_summary([on_wire_baf(t) for t in parsed_sample.tables])
 
 
 def version_sample_baf_boxplot(version_sample):
     """Figure 4c: BAF summary of one mode-6 version sample."""
+    packed = getattr(version_sample, "packed", None)
+    if packed is not None:
+        wire = on_wire_bytes_array(packed.pkt_lens)
+        cum = np.concatenate(([0], np.cumsum(wire)))
+        offsets = np.asarray(packed.pkt_offsets, dtype=np.int64)
+        totals = (cum[offsets[1:]] - cum[offsets[:-1]]) * np.asarray(
+            packed.n_repeats, dtype=np.int64
+        )
+        bafs = totals.astype(np.float64) / float(QUERY_ON_WIRE)
+        return boxplot_summary(bafs.tolist())
     bafs = []
     for capture in version_sample.captures:
         total = sum(on_wire_bytes(len(p)) for p in capture.packets) * capture.n_repeats

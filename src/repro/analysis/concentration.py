@@ -9,6 +9,8 @@ and the top 100 victim ASes absorb ~75%.
 from collections import defaultdict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.util.stats import Ecdf
 
 __all__ = ["ConcentrationReport", "as_concentration"]
@@ -40,9 +42,52 @@ class ConcentrationReport:
         return None
 
 
+def _as_packets_columnar(ips, packets, table):
+    """{asn: packets} by group-by, keys in first-observation order.
+
+    The AS lookup runs once per *unique* IP (a Python call per IP would
+    dominate); per-AS packet sums are exact in float64 accumulation and
+    returned as ints, and the dict is built in the same first-occurrence
+    order the scalar defaultdict loop would produce — ``sorted`` ties in
+    the rank methods above resolve identically.
+    """
+    unique_ips = np.unique(ips)
+    asn_lookup = np.array(
+        [
+            asn if (asn := table.asn_of(ip)) is not None else -1
+            for ip in unique_ips.tolist()
+        ],
+        dtype=np.int64,
+    )
+    asn_per_obs = asn_lookup[np.searchsorted(unique_ips, ips)]
+    routed = asn_per_obs >= 0
+    asns = asn_per_obs[routed]
+    if not len(asns):
+        return {}
+    uniq, first_idx, inverse = np.unique(asns, return_index=True, return_inverse=True)
+    sums = np.bincount(inverse, weights=packets[routed].astype(np.float64))
+    order = np.argsort(first_idx, kind="stable")
+    return {int(uniq[k]): int(sums[k]) for k in order}
+
+
 def as_concentration(report, table):
     """Build the Figure-5 view from a victimology report and a routing
     table (IPs outside the plan are dropped, as unrouted junk would be)."""
+    from repro.analysis.victimology import ColumnarVictimologyReport
+
+    if isinstance(report, ColumnarVictimologyReport):
+        parts = [(s._victim, s._amplifier, s._packets) for s in report.samples]
+        parts = [p for p in parts if len(p[0])]
+        if not parts:
+            return ConcentrationReport(victim_as_packets={}, amplifier_as_packets={})
+        victims = np.concatenate([p[0] for p in parts])
+        amplifiers = np.concatenate([p[1] for p in parts])
+        packets = np.concatenate([p[2] for p in parts])
+        return ConcentrationReport(
+            victim_as_packets=_as_packets_columnar(victims, packets, table),
+            amplifier_as_packets=_as_packets_columnar(amplifiers, packets, table),
+        )
+
     victim_packets = defaultdict(int)
     amplifier_packets = defaultdict(int)
     for sample in report.samples:

@@ -86,12 +86,9 @@ class AnalysisContext:
         consume it, so it is memoized here like the monlist corpus.
         """
         if self._version_report is None:
-            from repro.analysis.versions import parse_version_captures
+            from repro.analysis.versions import parse_version_samples
 
-            captures = [
-                c for s in self.world.onp.version_samples for c in s.captures
-            ]
-            self._version_report = parse_version_captures(captures)
+            self._version_report = parse_version_samples(self.world.onp.version_samples)
         return self._version_report
 
     def responder_ip_sets(self):

@@ -28,7 +28,7 @@ import os
 import pickle
 import struct
 
-from repro.analysis.monlist_parse import parse_corpus
+from repro.analysis.event_columns import build_event_columns
 
 __all__ = [
     "PARSE_CACHE_ENV_VAR",
@@ -43,8 +43,11 @@ __all__ = [
 #: Environment variable naming the parsed-corpus cache directory.
 PARSE_CACHE_ENV_VAR = "REPRO_PARSE_CACHE"
 
-#: Bumped when the envelope or digest schema itself changes.
-_ENVELOPE_FORMAT = 1
+#: Bumped when the envelope or digest schema itself changes.  Format 2:
+#: the cached payload is an :class:`~repro.analysis.event_columns
+#: .EventColumns` (three structured arrays) instead of a list of
+#: ``ParsedSample`` objects; format-1 files from older builds simply miss.
+_ENVELOPE_FORMAT = 2
 
 _PACK_SAMPLE = struct.Struct(">dBd")
 _PACK_CAPTURE = struct.Struct(">IdI")
@@ -149,25 +152,30 @@ def load_parsed_corpus(path, digest):
 def load_or_parse_corpus(samples, jobs=1, cache_dir=None):
     """Parse ``samples`` through the keyed directory cache (if configured).
 
+    The decode runs through the columnar path: one
+    :class:`~repro.analysis.event_columns.EventColumns` batch per corpus,
+    returned as its list of ``ParsedSample``-shaped per-sample views (all
+    views share the one column store, which is what the cache pickles).
+
     Returns ``(parsed, n_parses)`` where ``n_parses`` is how many sample
     decodes actually ran: ``0`` on a cache hit, ``len(samples)`` otherwise
     — callers feed it straight into the parse-once ledger so a cache hit
     is visible in the accounting rather than impersonating a decode.
-    With no cache directory this is exactly ``parse_corpus``.
+    With no cache directory this is exactly ``build_event_columns``.
     """
     samples = list(samples)
     directory = cache_dir or os.environ.get(PARSE_CACHE_ENV_VAR)
     if not directory:
-        return parse_corpus(samples, jobs=jobs), len(samples)
+        return build_event_columns(samples, jobs=jobs).sample_views(), len(samples)
     digest = corpus_digest(samples)
     path = cached_corpus_path(digest, directory)
     try:
-        return load_parsed_corpus(path, digest), 0
+        return load_parsed_corpus(path, digest).sample_views(), 0
     except CacheMiss:
         pass
-    parsed = parse_corpus(samples, jobs=jobs)
+    columns = build_event_columns(samples, jobs=jobs)
     try:
-        save_parsed_corpus(parsed, digest, path)
+        save_parsed_corpus(columns, digest, path)
     except OSError:
         pass  # unwritable cache never blocks the pipeline
-    return parsed, len(samples)
+    return columns.sample_views(), len(samples)

@@ -13,7 +13,13 @@ from repro.ntp.constants import STRATUM_UNSYNCHRONIZED
 from repro.ntp.variables import extract_compile_year, parse_system_variables
 from repro.ntp.wire import WireError, decode_mode6
 
-__all__ = ["VersionRecord", "VersionReport", "parse_version_captures", "os_family_of"]
+__all__ = [
+    "VersionRecord",
+    "VersionReport",
+    "parse_version_captures",
+    "parse_version_samples",
+    "os_family_of",
+]
 
 #: Map raw ``system=`` strings onto Table 2's OS families.
 _FAMILY_KEYWORDS = [
@@ -131,6 +137,22 @@ def _parse_one_version_capture(packets):
     )
 
 
+def _record_fields(by_ip, memo, key, packets, target_ip):
+    fields = memo.get(key)
+    if fields is None:
+        fields = memo[key] = _parse_one_version_capture(packets)
+    if fields is _UNPARSEABLE:
+        return
+    os_family, system, stratum, compile_year = fields
+    by_ip[target_ip] = VersionRecord(
+        ip=target_ip,
+        os_family=os_family,
+        system=system,
+        stratum=stratum,
+        compile_year=compile_year,
+    )
+
+
 def parse_version_captures(captures):
     """Parse raw mode-6 captures (deduplicating by IP, last write wins)."""
     by_ip = {}
@@ -139,20 +161,54 @@ def parse_version_captures(captures):
     # parse but still get their own records.
     memo = {}
     for capture in captures:
-        packets = capture.packets
-        fields = memo.get(packets)
-        if fields is None:
-            fields = memo[packets] = _parse_one_version_capture(packets)
-        if fields is _UNPARSEABLE:
+        _record_fields(by_ip, memo, capture.packets, capture.packets, capture.target_ip)
+    report = VersionReport()
+    report.records = list(by_ip.values())
+    return report
+
+
+def parse_version_samples(version_samples):
+    """Parse version samples straight from their packed blobs.
+
+    Samples holding a :class:`~repro.measurement.capture_store
+    .PackedCaptures` are read column-wise — memo keys come from the raw
+    payload slice and packet-length vector, so byte-identical replies
+    still share one parse — and packet bytes are only sliced out on a
+    memo miss.  Samples without a packed blob fall back to the per-object
+    walk; both paths fill the same last-write-wins IP table in capture
+    order, so the record list is identical to flattening every sample's
+    captures through :func:`parse_version_captures`.
+    """
+    by_ip = {}
+    memo = {}
+    for sample in version_samples:
+        packed = getattr(sample, "packed", None)
+        if packed is None:
+            for capture in sample.captures:
+                _record_fields(
+                    by_ip, memo, capture.packets, capture.packets, capture.target_ip
+                )
             continue
-        os_family, system, stratum, compile_year = fields
-        by_ip[capture.target_ip] = VersionRecord(
-            ip=capture.target_ip,
-            os_family=os_family,
-            system=system,
-            stratum=stratum,
-            compile_year=compile_year,
-        )
+        pkt_offsets = packed.pkt_offsets
+        byte_offsets = packed.byte_offsets
+        pkt_lens = packed.pkt_lens
+        payload = packed.payload
+        targets = packed.target_ips
+        for i in range(len(packed)):
+            pkt_lo = int(pkt_offsets[i])
+            pkt_hi = int(pkt_offsets[i + 1])
+            raw = payload[int(byte_offsets[pkt_lo]) : int(byte_offsets[pkt_hi])].tobytes()
+            lens = pkt_lens[pkt_lo:pkt_hi]
+            key = (raw, lens.tobytes())
+            packets = None
+            if key not in memo:
+                packets = []
+                offset = 0
+                for length in lens.tolist():
+                    packets.append(raw[offset : offset + length])
+                    offset += length
+                packets = tuple(packets)
+            _record_fields(by_ip, memo, key, packets, int(targets[i]))
     report = VersionReport()
     report.records = list(by_ip.values())
     return report

@@ -17,6 +17,8 @@ import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.util.simtime import HOUR
 from repro.util.stats import percentile
 
@@ -255,8 +257,246 @@ class VictimologyReport:
         return 168.0 / median_window
 
 
+class ColumnarSampleVictimology:
+    """Array-backed :class:`SampleVictimology` for one columnar sample.
+
+    Holds the victim-classified entry columns (entry order preserved);
+    ``observations`` materializes :class:`VictimObservation` objects only
+    if a consumer still iterates them — the report-level aggregations
+    below never do.
+    """
+
+    __slots__ = (
+        "t",
+        "n_non_victim",
+        "n_scanner",
+        "max_last_seen",
+        "_victim",
+        "_amplifier",
+        "_port",
+        "_mode",
+        "_packets",
+        "_avg",
+        "_last",
+        "_obs",
+        "_ips",
+    )
+
+    def __init__(self, t, n_non_victim, n_scanner, max_last_seen, victim, amplifier, port, mode, packets, avg, last):
+        self.t = t
+        self.n_non_victim = n_non_victim
+        self.n_scanner = n_scanner
+        self.max_last_seen = max_last_seen
+        self._victim = victim
+        self._amplifier = amplifier
+        self._port = port
+        self._mode = mode
+        self._packets = packets
+        self._avg = avg
+        self._last = last
+        self._obs = None
+        self._ips = None
+
+    @property
+    def n_victim_pairs(self):
+        return len(self._victim)
+
+    @property
+    def observations(self):
+        if self._obs is None:
+            t = self.t
+            amp = self._amplifier.tolist()
+            vic = self._victim.tolist()
+            port = self._port.tolist()
+            mode = self._mode.tolist()
+            packets = self._packets.tolist()
+            avg = self._avg.tolist()
+            last = self._last.tolist()
+            self._obs = [
+                VictimObservation(
+                    sample_t=t,
+                    amplifier_ip=amp[k],
+                    victim_ip=vic[k],
+                    port=port[k],
+                    mode=mode[k],
+                    packets=packets[k],
+                    avg_interval=avg[k],
+                    last_seen_ago=last[k],
+                )
+                for k in range(len(vic))
+            ]
+        return self._obs
+
+    def victim_ips(self):
+        if self._ips is None:
+            self._ips = set(self._victim.tolist())
+        return self._ips
+
+    def packets_per_victim(self):
+        """{victim ip: total packets received across amplifiers}."""
+        uniq, first_idx, inv = np.unique(self._victim, return_index=True, return_inverse=True)
+        sums = np.bincount(inv, weights=self._packets.astype(np.float64))
+        order = np.argsort(first_idx, kind="stable")
+        keys = uniq[order].tolist()
+        values = sums[order].tolist()
+        return {k: int(v) for k, v in zip(keys, values)}
+
+    def start_times(self):
+        """Derived per-observation start times (vectorized, entry order)."""
+        end = self.t - self._last.astype(np.float64)
+        return end - self._packets.astype(np.float64) * self._avg
+
+    def median_view_window_hours(self):
+        """Median (over tables) largest last-seen, in hours (§4.2: ~44 h)."""
+        if not self.max_last_seen:
+            return 0.0
+        return percentile(self.max_last_seen, 50) / HOUR
+
+
+def _analyze_columnar_sample(parsed, onp_ip=None):
+    """The array form of :func:`analyze_sample` for one columnar sample.
+
+    Float arithmetic replicates the scalar path operation-for-operation
+    (all operands are exact in float64), so classification masks and every
+    derived quantity are bit-identical to the object pipeline.
+    """
+    cols = parsed.columns
+    index = parsed.sample_index
+    e_lo, e_hi = cols.sample_entry_span(index)
+    t_lo, t_hi = cols.sample_table_span(index)
+    t = parsed.t
+
+    last = cols.entry_native("last")[e_lo:e_hi]
+    first = cols.entry_native("first")[e_lo:e_hi]
+    count = cols.entry_native("count")[e_lo:e_hi]
+    addr = cols.entry_native("addr")[e_lo:e_hi]
+    port = cols.entry_native("port")[e_lo:e_hi]
+    mode = cols.entry_native("mode")[e_lo:e_hi]
+
+    counts_tbl = cols.table_native("entry_count")[t_lo:t_hi]
+    starts_tbl = cols.table_native("entry_start")[t_lo:t_hi]
+    nonzero = counts_tbl > 0
+    if nonzero.any():
+        seg_starts = starts_tbl[nonzero] - e_lo
+        max_last_seen = np.maximum.reduceat(last, seg_starts).tolist()
+    else:
+        max_last_seen = []
+
+    keep = np.ones(len(addr), dtype=bool) if onp_ip is None else addr != onp_ip
+    non_victim = keep & (mode < 6)
+    avg = np.zeros(len(count), dtype=np.float64)
+    multi = count > 1
+    avg[multi] = (first[multi] - last[multi]).astype(np.float64) / (
+        count[multi].astype(np.float64) - 1.0
+    )
+    victim = keep & (mode >= 6) & (count >= _MIN_PACKETS) & (avg <= _MAX_INTERARRIVAL)
+    n_non_victim = int(non_victim.sum())
+    n_scanner = int(keep.sum()) - n_non_victim - int(victim.sum())
+
+    amp_entry = np.repeat(cols.table_native("amplifier")[t_lo:t_hi], counts_tbl)
+    return ColumnarSampleVictimology(
+        t=t,
+        n_non_victim=n_non_victim,
+        n_scanner=n_scanner,
+        max_last_seen=max_last_seen,
+        victim=addr[victim],
+        amplifier=amp_entry[victim],
+        port=port[victim],
+        mode=mode[victim],
+        packets=count[victim],
+        avg=avg[victim],
+        last=last[victim],
+    )
+
+
+class ColumnarVictimologyReport(VictimologyReport):
+    """Array-kernel overrides of the hot §4.3 aggregations.
+
+    Every override reproduces the scalar method's exact output — the
+    integer sums are exact in either representation, percentiles see the
+    same multisets, and tie-breaking replicates ``Counter.most_common``'s
+    insertion-order rule via first-occurrence indices.
+    """
+
+    def total_attack_packets(self):
+        return sum(int(s._packets.sum()) for s in self.samples)
+
+    def victim_packet_stats(self):
+        rows = []
+        for sample in self.samples:
+            if not len(sample._victim):
+                rows.append((sample.t, 0.0, 0.0, 0.0))
+                continue
+            uniq, inv = np.unique(sample._victim, return_inverse=True)
+            sums = np.bincount(inv, weights=sample._packets.astype(np.float64))
+            total = int(sample._packets.sum())
+            rows.append(
+                (
+                    sample.t,
+                    total / len(uniq),
+                    percentile(sums, 50),
+                    percentile(sums, 95),
+                )
+            )
+        return rows
+
+    def port_table(self, top=20):
+        parts = [s._port for s in self.samples if len(s._port)]
+        if not parts:
+            return []
+        ports = np.concatenate(parts)
+        uniq, first_idx, counts = np.unique(ports, return_index=True, return_counts=True)
+        # -counts primary, first occurrence secondary: Counter.most_common's
+        # ordering (heapq.nlargest is stable over insertion order).
+        order = np.lexsort((first_idx, -counts))
+        total = len(ports)
+        return [(int(uniq[k]), int(counts[k]) / total) for k in order[:top]]
+
+    def attacks_per_hour(self):
+        hours = {}
+        for sample in self.samples:
+            if not len(sample._victim):
+                continue
+            starts = sample.start_times()
+            order = np.lexsort((starts, sample._victim))
+            starts_sorted = starts[order]
+            _, group_start, group_count = np.unique(
+                sample._victim[order], return_index=True, return_counts=True
+            )
+            medians = starts_sorted[group_start + group_count // 2]
+            bins = np.floor_divide(medians, HOUR).astype(np.int64)
+            uniq_bins, bin_counts = np.unique(bins, return_counts=True)
+            for h, c in zip(uniq_bins.tolist(), bin_counts.tolist()):
+                hours[h] = hours.get(h, 0) + c
+        return dict(sorted(hours.items()))
+
+    def amplifiers_per_victim(self):
+        rows = []
+        for sample in self.samples:
+            if not len(sample._victim):
+                rows.append((sample.t, 0.0))
+                continue
+            _, counts = np.unique(sample._victim, return_counts=True)
+            rows.append((sample.t, percentile(counts, 50)))
+        return rows
+
+
 def analyze_dataset(parsed_samples, onp_ip=None):
-    """Victimology over all weekly samples."""
+    """Victimology over all weekly samples.
+
+    Columnar corpora (every sample a
+    :class:`~repro.analysis.event_columns.ColumnarSample`) run through the
+    array kernels; anything else takes the original per-entry loop.  The
+    two paths produce identical reports.
+    """
+    from repro.analysis.event_columns import ColumnarSample
+
+    parsed_samples = list(parsed_samples)
+    if parsed_samples and all(isinstance(p, ColumnarSample) for p in parsed_samples):
+        report = ColumnarVictimologyReport()
+        for parsed in parsed_samples:
+            report.samples.append(_analyze_columnar_sample(parsed, onp_ip=onp_ip))
+        return report
     report = VictimologyReport()
     for parsed in parsed_samples:
         report.samples.append(analyze_sample(parsed, onp_ip=onp_ip))

@@ -168,7 +168,7 @@ def _fig4(ctx):
     out = [render_table(["Sample", "Q1", "Median", "Q3", "Max"], rows, title="Fig 4b: monlist BAF")]
     vrows = []
     for s in ctx.world.onp.version_samples:
-        if not s.captures:
+        if not len(s):
             vrows.append([format_sim(s.t), "-", "-", "-", "- (no data)"])
             continue
         b = version_sample_baf_boxplot(s)
@@ -779,8 +779,11 @@ def _bench_pipeline(args):
     )
     parallel_seconds = perf_counter() - start
 
+    from repro.measurement.capture_store import spill_threshold_bytes
+
     identical = serial == parallel
     total = build_seconds + parse_seconds + serial_seconds + parallel_seconds
+    self_mb, children_mb = _peak_rss_mb()
     record = _provenance(args, params)
     record.update(
         {
@@ -794,6 +797,12 @@ def _bench_pipeline(args):
                 "parse": round(parse_seconds, 4),
                 "render_serial": round(serial_seconds, 4),
                 "render_parallel": round(parallel_seconds, 4),
+            },
+            "memory": {
+                "peak_rss_mb": round(self_mb + children_mb, 2),
+                "self_mb": self_mb,
+                "children_mb": children_mb,
+                "spill_threshold_mb": round(spill_threshold_bytes() / (1024 * 1024), 2),
             },
             "render_pool": pool_stats,
         }
@@ -811,24 +820,40 @@ def _bench_pipeline(args):
         )
     else:
         print(f"  (render pool not engaged: {pool_stats.get('reason')})")
+    peak = record["memory"]["peak_rss_mb"]
+    print(f"  peak RSS {peak:.0f} MB (self {self_mb:.0f} + children {children_mb:.0f})")
     print(f"(wrote {args.out})")
+    status = 0
     if not identical:
         print("FAIL: parallel render output differs from serial", file=sys.stderr)
-        return 1
+        status = 1
     if args.max_parse_seconds is not None and parse_seconds > args.max_parse_seconds:
         print(
             f"FAIL: parse phase took {parse_seconds:.2f}s > ceiling "
             f"{args.max_parse_seconds:.2f}s",
             file=sys.stderr,
         )
-        return 1
+        status = 1
+    if args.max_render_seconds is not None and serial_seconds > args.max_render_seconds:
+        print(
+            f"FAIL: serial render took {serial_seconds:.2f}s > ceiling "
+            f"{args.max_render_seconds:.2f}s",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.max_rss_mb is not None and peak > args.max_rss_mb:
+        print(
+            f"FAIL: peak RSS {peak:.0f} MB > ceiling {args.max_rss_mb:.0f} MB",
+            file=sys.stderr,
+        )
+        status = 1
     if args.max_seconds is not None and total > args.max_seconds:
         print(
             f"FAIL: pipeline took {total:.2f}s > ceiling {args.max_seconds:.2f}s",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        status = 1
+    return status
 
 
 def _bench_verify(args):
@@ -1130,6 +1155,19 @@ def main(argv=None):
         default=None,
         help="exit nonzero if the parse phase alone exceeds this ceiling "
         "(decode-regression tripwire)",
+    )
+    p_bench_pipe.add_argument(
+        "--max-render-seconds",
+        type=float,
+        default=None,
+        help="exit nonzero if the serial render pass exceeds this ceiling "
+        "(aggregation-kernel regression tripwire)",
+    )
+    p_bench_pipe.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        help="exit nonzero if peak RSS (self + children) exceeds this ceiling",
     )
 
     p_bench_verify = subparsers.add_parser(

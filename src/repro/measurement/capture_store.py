@@ -51,6 +51,8 @@ __all__ = [
     "spill_threshold_bytes",
     "write_spill",
     "map_spill",
+    "maybe_spill_array",
+    "inline_array",
     "sweep_stale_spills",
 ]
 
@@ -143,6 +145,36 @@ def map_spill(path):
             f"!= recorded {checksum:#010x}"
         )
     return mapped
+
+
+def maybe_spill_array(array, threshold=None):
+    """Move any numpy array's buffer into an unlinked spill memmap past
+    the threshold (the generic sibling of ``PackedCaptures.maybe_spill``,
+    used by the darknet/ISP corpora).  Returns the original array when it
+    is small, empty, or already memmap-backed; otherwise a read-only
+    memmap view with the same dtype and shape.
+    """
+    if threshold is None:
+        threshold = spill_threshold_bytes()
+    base = array.base if array.base is not None else array
+    if isinstance(base, np.memmap) or array.nbytes == 0 or array.nbytes <= threshold:
+        return array
+    sweep_stale_spills()
+    path = write_spill(np.ascontiguousarray(array).tobytes())
+    try:
+        mapped = map_spill(path)
+    finally:
+        os.unlink(path)
+    return mapped.view(array.dtype).reshape(array.shape)
+
+
+def inline_array(array):
+    """A RAM-resident copy of a possibly memmap-backed array — the pickle
+    form, so cached worlds never depend on an unlinked temp file."""
+    base = array.base if array.base is not None else array
+    if isinstance(base, np.memmap):
+        return np.asarray(array).copy()
+    return array
 
 
 def _pid_alive(pid):

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.measurement.capture_store import inline_array, maybe_spill_array
 from repro.net.framing import MIN_ONWIRE_FRAME
 from repro.population.amplifiers import estimate_monlist_reply_bytes
 from repro.util.simtime import DAY, HOUR, date_to_sim
@@ -134,6 +135,10 @@ class SiteDataset:
         self.victim_forensics = {}
         self.victim_hourly = defaultdict(float)  # (victim_ip, hour) -> bytes
         self.scanners_by_day = defaultdict(set)
+        #: Compacted forms of the two dict accumulators above (see
+        #: compact()): (ips, hours, bytes) arrays and (day, ip) pairs.
+        self._victim_cols = None
+        self._scanner_pairs = None
         self._background = None
 
     # -- helpers -------------------------------------------------------------------
@@ -159,6 +164,81 @@ class SiteDataset:
             if victim_key is not None:
                 self.victim_hourly[(victim_key, h)] += rate * span
             t += span
+
+    # -- compaction ----------------------------------------------------------------
+
+    def compact(self):
+        """Freeze the dict accumulators into flat arrays, spilled to
+        unlinked memmaps past ``REPRO_SPILL_MB``.
+
+        ``victim_hourly`` becomes three parallel (ip, hour, bytes) columns
+        and ``scanners_by_day`` a (day, ip)-sorted pair array.  Later
+        observations still work (they land in the emptied dict overlays
+        and merge additively on the next compact), and every figure read
+        below folds both layers, so outputs are unchanged.  Returns
+        ``self`` so it chains.
+        """
+        items = self.victim_hourly
+        ips = np.fromiter((k[0] for k in items), dtype=np.int64, count=len(items))
+        hours = np.fromiter((k[1] for k in items), dtype=np.int64, count=len(items))
+        volumes = np.fromiter(items.values(), dtype=np.float64, count=len(items))
+        if self._victim_cols is not None:
+            ips = np.concatenate([np.asarray(self._victim_cols[0]), ips])
+            hours = np.concatenate([np.asarray(self._victim_cols[1]), hours])
+            volumes = np.concatenate([np.asarray(self._victim_cols[2]), volumes])
+        order = np.lexsort((hours, ips))
+        ips, hours, volumes = ips[order], hours[order], volumes[order]
+        if len(ips):
+            first = np.ones(len(ips), dtype=bool)
+            first[1:] = (ips[1:] != ips[:-1]) | (hours[1:] != hours[:-1])
+            starts = np.flatnonzero(first)
+            volumes = np.add.reduceat(volumes, starts)
+            ips, hours = ips[starts], hours[starts]
+        self._victim_cols = (
+            maybe_spill_array(np.ascontiguousarray(ips)),
+            maybe_spill_array(np.ascontiguousarray(hours)),
+            maybe_spill_array(np.ascontiguousarray(volumes)),
+        )
+        self.victim_hourly = defaultdict(float)
+
+        parts = []
+        if self._scanner_pairs is not None and len(self._scanner_pairs):
+            parts.append(np.asarray(self._scanner_pairs))
+        for day, day_ips in self.scanners_by_day.items():
+            pair = np.empty((len(day_ips), 2), dtype=np.int64)
+            pair[:, 0] = day
+            pair[:, 1] = np.fromiter(day_ips, dtype=np.int64, count=len(day_ips))
+            parts.append(pair)
+        if parts:
+            pairs = np.concatenate(parts)
+            order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+            pairs = pairs[order]
+            keep = np.ones(len(pairs), dtype=bool)
+            keep[1:] = (pairs[1:] != pairs[:-1]).any(axis=1)
+            pairs = np.ascontiguousarray(pairs[keep])
+        else:
+            pairs = np.empty((0, 2), dtype=np.int64)
+        self._scanner_pairs = maybe_spill_array(pairs)
+        self.scanners_by_day = defaultdict(set)
+        return self
+
+    def scanner_days(self):
+        """Every day index with at least one detected scanner."""
+        days = {int(d) for d in self.scanners_by_day}
+        if self._scanner_pairs is not None and len(self._scanner_pairs):
+            days.update(np.unique(self._scanner_pairs[:, 0]).tolist())
+        return days
+
+    def scanners_on(self, day):
+        """The set of scanner IPs detected on one day (both layers)."""
+        ips = set(self.scanners_by_day.get(day, ()))
+        pairs = self._scanner_pairs
+        if pairs is not None and len(pairs):
+            days = pairs[:, 0]
+            lo = np.searchsorted(days, day, side="left")
+            hi = np.searchsorted(days, day, side="right")
+            ips.update(pairs[lo:hi, 1].tolist())
+        return ips
 
     # -- views ---------------------------------------------------------------------
 
@@ -186,9 +266,15 @@ class SiteDataset:
         """Hourly MB/s destined to one victim (Figure 13/15)."""
         n_hours = len(self.ntp_out)
         series = np.zeros(n_hours)
+        if self._victim_cols is not None:
+            ips, hours, volumes = self._victim_cols
+            mask = ips == victim_ip
+            hour_hits = hours[mask]
+            in_range = (hour_hits >= 0) & (hour_hits < n_hours)
+            series[hour_hits[in_range]] += volumes[mask][in_range]
         for (ip, hour), volume in self.victim_hourly.items():
             if ip == victim_ip and 0 <= hour < n_hours:
-                series[hour] = volume
+                series[hour] += volume
         return series / HOUR / 1e6
 
     def background_series(self, rng):
@@ -209,6 +295,24 @@ class SiteDataset:
         series["other"] = np.clip(total - accounted, 0.0, None)
         self._background = series
         return series
+
+    # -- pickling ------------------------------------------------------------------
+    # Cached worlds must be self-contained: memmap-backed compact arrays
+    # are re-inlined so the pickle never references an unlinked temp file.
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        if state.get("_victim_cols") is not None:
+            state["_victim_cols"] = tuple(inline_array(a) for a in state["_victim_cols"])
+        if state.get("_scanner_pairs") is not None:
+            state["_scanner_pairs"] = inline_array(state["_scanner_pairs"])
+        return state
+
+    def __setstate__(self, state):
+        # Worlds cached before the compacted layout predate these slots.
+        state.setdefault("_victim_cols", None)
+        state.setdefault("_scanner_pairs", None)
+        self.__dict__.update(state)
 
 
 class IspMeasurement:
@@ -367,9 +471,16 @@ class IspMeasurement:
         """{day: scanner IPs detected at both sites that day}."""
         out = {}
         site_a, site_b = self.sites[a], self.sites[b]
-        days = set(site_a.scanners_by_day) | set(site_b.scanners_by_day)
+        days = site_a.scanner_days() | site_b.scanner_days()
         for day in sorted(days):
-            both = site_a.scanners_by_day.get(day, set()) & site_b.scanners_by_day.get(day, set())
+            both = site_a.scanners_on(day) & site_b.scanners_on(day)
             if both:
                 out[day] = both
         return out
+
+    def compact(self):
+        """Compact every site's dict accumulators (see
+        :meth:`SiteDataset.compact`); returns ``self`` so it chains."""
+        for site in self.sites.values():
+            site.compact()
+        return self

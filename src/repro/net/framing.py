@@ -22,6 +22,7 @@ __all__ = [
     "udp_datagram_bytes",
     "frame_bytes",
     "on_wire_bytes",
+    "on_wire_bytes_array",
     "on_wire_total",
 ]
 
@@ -62,6 +63,20 @@ def on_wire_bytes(payload_len):
     query packet.
     """
     return frame_bytes(payload_len) + ETHERNET_OVERHEAD
+
+
+def on_wire_bytes_array(payload_lens):
+    """Vectorized :func:`on_wire_bytes` over an array of payload lengths.
+
+    Returns an ``int64`` array; elementwise equal to ``on_wire_bytes`` for
+    non-negative lengths.
+    """
+    import numpy as np
+
+    lens = np.asarray(payload_lens, dtype=np.int64)
+    fixed = ETHERNET_HEADER + UDP_IP_HEADERS + ETHERNET_FCS + ETHERNET_OVERHEAD
+    pad_below = MIN_FRAME - (ETHERNET_HEADER + UDP_IP_HEADERS + ETHERNET_FCS)
+    return np.where(lens < pad_below, MIN_ONWIRE_FRAME, lens + fixed)
 
 
 def on_wire_total(payload_lens):

@@ -33,6 +33,7 @@ __all__ = [
     "Mode3Packet",
     "MON_V1_DTYPE",
     "MON_V2_DTYPE",
+    "monitor_dtype_for",
     "encode_mode7_request",
     "encode_mode7_response",
     "encode_mode7_response_raw",
@@ -127,6 +128,15 @@ MON_V1_DTYPE = np.dtype(
 #: Below this many entries the per-array NumPy overhead exceeds the struct
 #: loop (same crossover as the encoder's ``_BULK_RENDER_MIN``).
 _BLOCK_DECODE_MIN = 12
+
+
+def monitor_dtype_for(item_size):
+    """The on-wire structured dtype for a monitor item size (32 or 72 B)."""
+    if item_size == MON_ENTRY_V2_SIZE:
+        return MON_V2_DTYPE
+    if item_size == MON_ENTRY_V1_SIZE:
+        return MON_V1_DTYPE
+    raise WireError(f"unsupported monitor item size {item_size}")
 
 
 def _clamp_u32(value):

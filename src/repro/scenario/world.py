@@ -44,7 +44,7 @@ from repro.population.dns_resolvers import DnsResolverPool
 from repro.population.osmodel import sample_system_attributes
 from repro.population.victims import VictimParams, build_victim_pool
 from repro.telescope.darknet import Ipv4Darknet, Ipv6Darknet
-from repro.util.pool import ShardRunner
+from repro.util.pool import ShardRunner, summarize_shard_stats
 from repro.util.rng import RngStream
 from repro.util.simtime import DAY, HOUR, date_to_sim
 
@@ -192,7 +192,7 @@ class PaperWorld:
             f"(first sample {100 * churn.first_sample_share:.0f}%; paper: ~60%)"
         )
         with_tables = [p for p in parsed if p.tables]
-        version_ok = [s for s in self.onp.version_samples if s.captures]
+        version_ok = [s for s in self.onp.version_samples if len(s)]
         if with_tables and version_ok:
             box = sample_baf_boxplot(with_tables[0])
             vbox = version_sample_baf_boxplot(version_ok[0])
@@ -325,7 +325,7 @@ class PaperWorld:
             dns_pool=state["dns_pool"],
             local_amplifiers=state["local"],
             build_timings=timings,
-            shard_stats=dict(runner.stats),
+            shard_stats=summarize_shard_stats(runner.stats),
             fault_log=state["injector"].log,
             checkpoint_stats=checkpoint_stats,
         )
@@ -425,7 +425,7 @@ def _phase_darknet(env, state):
     env.say("observing darknets")
     darknet = Ipv4Darknet(env.rng.child("telescope"), faults=state["injector"])
     darknet.observe_all(state["sweeps"])
-    state["darknet"] = darknet
+    state["darknet"] = darknet.compact()
     darknet_v6 = Ipv6Darknet(env.rng.child("telescope-v6"))
     darknet_v6.simulate_window(env.params.observation_start, env.params.observation_end)
     state["darknet_v6"] = darknet_v6
@@ -463,7 +463,7 @@ def _phase_isp(env, state):
     isp = IspMeasurement(state["registry"])
     isp.observe_attacks(state["attacks"])
     isp.observe_sweeps(state["sweeps"], scanner_scale=state["scanner_scale"])
-    state["isp"] = isp
+    state["isp"] = isp.compact()
 
 
 def _phase_dns(env, state):

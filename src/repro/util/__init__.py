@@ -4,7 +4,12 @@ These are the foundation layer; nothing in :mod:`repro.util` imports from any
 other ``repro`` subpackage.
 """
 
-from repro.util.pool import ShardRunner, available_cpus, fork_pool_gate
+from repro.util.pool import (
+    ShardRunner,
+    available_cpus,
+    fork_pool_gate,
+    summarize_shard_stats,
+)
 from repro.util.rng import RngStream, derive_seed
 from repro.util.simtime import (
     SimClock,
@@ -35,6 +40,7 @@ __all__ = [
     "ShardRunner",
     "available_cpus",
     "fork_pool_gate",
+    "summarize_shard_stats",
     "RngStream",
     "derive_seed",
     "SimClock",

@@ -51,7 +51,7 @@ import signal
 import threading
 import time
 
-__all__ = ["available_cpus", "fork_pool_gate", "ShardRunner"]
+__all__ = ["available_cpus", "fork_pool_gate", "ShardRunner", "summarize_shard_stats"]
 
 
 def available_cpus():
@@ -63,13 +63,15 @@ def available_cpus():
         return os.cpu_count() or 1
 
 
-def fork_pool_gate(jobs, n_tasks, min_tasks=2, cpus=None):
+def fork_pool_gate(jobs, n_tasks, min_tasks=2, cpus=None, phase=None):
     """Decide whether a fork pool should engage.
 
     Returns ``(engaged, reason)``; ``reason`` is ``None`` when engaged,
     otherwise a stable human-readable string recorded in provenance
     (BENCH files, shard stats) so a silently-serial run is explainable
-    after the fact.
+    after the fact.  ``phase`` (when given) prefixes the reason, so a
+    BENCH record with several phases reads unambiguously — every
+    :meth:`ShardRunner.map` call passes its phase name.
 
     ``cpus`` lets the caller pass the :func:`available_cpus` value it
     will record in provenance, so the recorded ``cpu_count`` and the
@@ -77,23 +79,67 @@ def fork_pool_gate(jobs, n_tasks, min_tasks=2, cpus=None):
     ``cpu_count: 1`` next to ``pool_engaged: true`` is a provenance
     bug, not a configuration).
     """
+
+    def veto(reason):
+        return False, f"{phase}: {reason}" if phase else reason
+
     if jobs <= 1:
-        return False, "jobs <= 1: serial path requested"
+        return veto("jobs <= 1: serial path requested")
     if n_tasks < min_tasks:
         if n_tasks <= 1:
-            return False, "single task: nothing to parallelize"
-        return False, f"{n_tasks} tasks < {min_tasks}: not worth forking"
+            return veto("single task: nothing to parallelize")
+        return veto(f"{n_tasks} tasks < {min_tasks}: not worth forking")
     if cpus is None:
         cpus = available_cpus()
     if cpus <= 1:
-        return False, "single CPU available: fork pool would add overhead"
+        return veto("single CPU available: fork pool would add overhead")
     import multiprocessing
 
     try:
         multiprocessing.get_context("fork")
     except ValueError:
-        return False, "fork start method unavailable on this platform"
+        return veto("fork start method unavailable on this platform")
     return True, None
+
+
+def _percentile(ordered, q):
+    """Linear-interpolation percentile of an ascending list (numpy's
+    default method, dependency-free)."""
+    if not ordered:
+        return 0.0
+    position = (len(ordered) - 1) * q
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+def summarize_shard_stats(stats):
+    """Condense live :attr:`ShardRunner.stats` for provenance records.
+
+    The live dicts carry one float and one source string **per task** —
+    thousands of entries at scale, which used to dominate the checked-in
+    BENCH files.  The record form replaces ``task_seconds`` with its
+    summary (count/p50/p95/max/sum) and ``task_source`` with per-source
+    counts; everything else is copied through unchanged.
+    """
+    out = {}
+    for phase, stat in stats.items():
+        summary = dict(stat)
+        seconds = sorted(stat.get("task_seconds", ()))
+        summary["task_seconds"] = {
+            "count": len(seconds),
+            "p50": round(_percentile(seconds, 0.50), 6),
+            "p95": round(_percentile(seconds, 0.95), 6),
+            "max": round(seconds[-1], 6) if seconds else 0.0,
+            "sum": round(sum(seconds), 6),
+        }
+        sources = {}
+        for source in stat.get("task_source", ()):
+            sources[source] = sources.get(source, 0) + 1
+        summary["task_source"] = sources
+        out[phase] = summary
+    return out
 
 
 #: Pre-fork worker state: ``(fn, ctx)``.  Set by :meth:`ShardRunner.map`
@@ -234,7 +280,9 @@ class ShardRunner:
         — in completion order, not task order — for progress reporting.
         """
         cpus = available_cpus()
-        engaged, reason = fork_pool_gate(self.jobs, n_tasks, min_tasks=min_tasks, cpus=cpus)
+        engaged, reason = fork_pool_gate(
+            self.jobs, n_tasks, min_tasks=min_tasks, cpus=cpus, phase=phase
+        )
         stat = {
             "engaged": engaged,
             "reason": reason,

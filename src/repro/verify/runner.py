@@ -400,7 +400,7 @@ def run_conformance(
     world_invs = [inv for inv in invariants if inv.scope == "world"]
 
     from repro.analysis.monlist_parse import add_parse_calls
-    from repro.util.pool import ShardRunner, fork_pool_gate
+    from repro.util.pool import ShardRunner, fork_pool_gate, summarize_shard_stats
 
     runner_kwargs = {}
     if task_timeout is not None:
@@ -408,7 +408,7 @@ def run_conformance(
     if retries is not None:
         runner_kwargs["retries"] = retries
     runner = ShardRunner(jobs, **runner_kwargs)
-    engaged, gate_reason = fork_pool_gate(jobs, len(cells))
+    engaged, gate_reason = fork_pool_gate(jobs, len(cells), phase="cells")
     if engaged:
         say(f"building {len(cells)} worlds over {min(jobs, len(cells))} workers")
     elif jobs > 1:
@@ -434,7 +434,7 @@ def run_conformance(
             add_parse_calls(parse_delta)
 
     report = ConformanceReport(
-        cells=cells, invariants_run=len(invariants), shards=dict(runner.stats)
+        cells=cells, invariants_run=len(invariants), shards=summarize_shard_stats(runner.stats)
     )
     say(f"evaluating {len(invariants)} invariants over {len(cells)} worlds")
 

@@ -61,6 +61,21 @@ def test_gate_reasons(monkeypatch):
     assert engaged and reason is None
 
 
+def test_gate_reason_carries_phase_name(monkeypatch):
+    """Every phase's veto reads unambiguously in a multi-phase record."""
+    monkeypatch.setattr(pool_mod, "available_cpus", lambda: 8)
+    assert fork_pool_gate(1, 10, phase="onp") == (
+        False,
+        "onp: jobs <= 1: serial path requested",
+    )
+    assert fork_pool_gate(4, 1, phase="campaign") == (
+        False,
+        "campaign: single task: nothing to parallelize",
+    )
+    engaged, reason = fork_pool_gate(4, 16, phase="onp")
+    assert engaged and reason is None
+
+
 def test_gate_refuses_single_cpu(monkeypatch):
     monkeypatch.setattr(pool_mod, "available_cpus", lambda: 1)
     assert fork_pool_gate(8, 16) == (
@@ -183,7 +198,7 @@ def test_serial_build_ignores_cpu_gate(serial_worlds):
     stats = serial_worlds[7].shard_stats
     for phase in ("hosts", "campaign", "onp"):
         assert not stats[phase]["engaged"]
-        assert stats[phase]["reason"] == "jobs <= 1: serial path requested"
+        assert stats[phase]["reason"] == f"{phase}: jobs <= 1: serial path requested"
 
 
 def test_cache_hit_across_jobs(tmp_path, monkeypatch):
@@ -220,6 +235,14 @@ def test_bench_build_record_schema(tmp_path):
     for phase in ("hosts", "campaign", "onp"):
         shard = record["shards"][phase]
         assert {"engaged", "reason", "jobs", "workers", "tasks", "cpu_count"} <= set(shard)
+        # Records carry per-task *summaries*, never per-task arrays
+        # (thousands of entries at scale).
+        seconds = shard["task_seconds"]
+        assert set(seconds) == {"count", "p50", "p95", "max", "sum"}
+        assert seconds["count"] == shard["tasks"]
+        assert seconds["p50"] <= seconds["p95"] <= seconds["max"] <= seconds["sum"]
+        assert isinstance(shard["task_source"], dict)
+        assert sum(shard["task_source"].values()) == shard["tasks"]
 
 
 def test_bench_build_scale_sweep_and_rss_tripwire(tmp_path):

@@ -1,0 +1,371 @@
+"""Columnar corpus equivalence: ``EventColumns`` vs the object pipeline.
+
+The columnar fast path must be invisible.  For any corpus — clean or
+mangled by the full mutation menagerie (truncation, bit flips, drops,
+reorders, duplicates) — decoding straight out of the packed blob
+produces tables, entries, and :class:`ParseStats` identical to
+``parse_sample``'s object path, advances the parse-once ledger by the
+same amount, and every aggregation kernel (victimology, concentration,
+churn, versions) computes the same report from either representation.
+These properties are what let the renderers switch corpus
+representation without a byte of artifact drift.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.churn import churn_report
+from repro.analysis.concentration import as_concentration
+from repro.analysis.event_columns import (
+    ColumnarSample,
+    EventColumns,
+    build_event_columns,
+    columns_for_sample,
+)
+from repro.analysis.monlist_parse import parse_call_count, parse_sample
+from repro.analysis.versions import parse_version_samples
+from repro.analysis.victimology import (
+    ColumnarVictimologyReport,
+    VictimologyReport,
+    analyze_dataset,
+)
+from repro.measurement.capture_store import PackedCapturesBuilder
+from repro.measurement.onp import OnpSample
+from repro.ntp import MonlistTable, encode_mode6_response
+from repro.ntp.constants import CTL_OP_READVAR, IMPL_XNTPD, MODE6_DATA_AREA
+from repro.ntp.variables import render_system_variables
+from tests.strategies import BASE_PACKET_SETS, build_packets
+
+# ---------------------------------------------------------------------------
+# Fixture builders
+# ---------------------------------------------------------------------------
+
+
+def attack_packets(n_victims, hits=5, now=1000.0):
+    """A monlist response whose entries pass the §4.2 victim filter
+    (mode 7, count >= 3, inter-arrival <= 3600 s)."""
+    table = MonlistTable(capacity=600)
+    for i in range(n_victims):
+        for k in range(hits):
+            table.record(5000 + i, 80, 7, 4, now=float(i * 40 + k * 10))
+    return tuple(table.render_response_packets(now, 2, IMPL_XNTPD))
+
+
+def packed_sample(capture_specs, t=1000.0, mode=7, outage=False, coverage=1.0):
+    """An :class:`OnpSample` over a real packed blob — the fast path's
+    input shape.  ``capture_specs`` is ``[(target_ip, packets, n_repeats)]``."""
+    builder = PackedCapturesBuilder(t)
+    for target_ip, packets, n_repeats in capture_specs:
+        builder.add(target_ip, packets, n_repeats=n_repeats)
+    sample = OnpSample(t=t, mode=mode, outage=outage, coverage=coverage)
+    sample.attach_packed(builder.finish())
+    return sample
+
+
+def mutate(packets, mutation, data):
+    """Apply one corpus fault; mirrors the test_decode_fast fuzzers."""
+    packets = list(packets)
+    if mutation == "bitflip":
+        index = data.draw(st.integers(min_value=0, max_value=len(packets) - 1))
+        victim = bytearray(packets[index])
+        position = data.draw(st.integers(min_value=0, max_value=len(victim) - 1))
+        victim[position] ^= data.draw(st.integers(min_value=1, max_value=255))
+        packets[index] = bytes(victim)
+    elif mutation == "truncate":
+        index = data.draw(st.integers(min_value=0, max_value=len(packets) - 1))
+        keep = data.draw(st.integers(min_value=0, max_value=len(packets[index]) - 1))
+        packets[index] = packets[index][:keep]
+    elif mutation == "drop" and len(packets) > 1:
+        del packets[data.draw(st.integers(min_value=0, max_value=len(packets) - 1))]
+    elif mutation == "reorder":
+        indices = data.draw(st.permutations(range(len(packets))))
+        packets = [packets[i] for i in indices]
+    elif mutation == "duplicate":
+        index = data.draw(st.integers(min_value=0, max_value=len(packets) - 1))
+        packets.insert(index, packets[index])
+    return tuple(packets)
+
+
+_MUTATIONS = ["bitflip", "truncate", "drop", "reorder", "duplicate"]
+
+
+def corpus_from(data, n_samples, mutated):
+    """A small multi-sample monlist corpus, optionally fault-injected."""
+    samples = []
+    for s in range(n_samples):
+        specs = []
+        n_captures = data.draw(st.integers(min_value=0, max_value=4))
+        for c in range(n_captures):
+            kind = data.draw(st.sampled_from(["base", "attack"]))
+            if kind == "base":
+                packets = BASE_PACKET_SETS[data.draw(st.sampled_from([1, 4, 20]))]
+            else:
+                packets = attack_packets(data.draw(st.integers(min_value=1, max_value=6)))
+            if mutated and data.draw(st.booleans()):
+                packets = mutate(packets, data.draw(st.sampled_from(_MUTATIONS)), data)
+            n_repeats = data.draw(st.sampled_from([1, 1, 1, 3]))
+            specs.append((100 + 10 * s + c, packets, n_repeats))
+        samples.append(packed_sample(specs, t=1000.0 + 604800.0 * s))
+    return samples
+
+
+# ---------------------------------------------------------------------------
+# Structural equivalence: views == objects, counter for counter
+# ---------------------------------------------------------------------------
+
+
+def assert_sample_equivalent(view, parsed):
+    """A ColumnarSample view is indistinguishable from the ParsedSample."""
+    assert view.t == parsed.t
+    assert view.outage == parsed.outage
+    assert view.coverage == parsed.coverage
+    assert view.stats == parsed.stats
+    assert len(view.tables) == len(parsed.tables)
+    assert view.amplifier_ips() == parsed.amplifier_ips()
+    for table_view, table in zip(view.tables, parsed.tables):
+        assert table_view.amplifier_ip == table.amplifier_ip
+        assert table_view.t == table.t
+        assert table_view.entry_size == table.entry_size
+        assert table_view.n_packets_once == table.n_packets_once
+        assert table_view.n_repeats == table.n_repeats
+        assert table_view.payload_bytes_once == table.payload_bytes_once
+        assert table_view.on_wire_bytes_once == table.on_wire_bytes_once
+        assert table_view.total_packets == table.total_packets
+        assert table_view.total_on_wire_bytes == table.total_on_wire_bytes
+        assert table_view.total_payload_bytes == table.total_payload_bytes
+        assert table_view.is_mega == table.is_mega
+        assert len(table_view) == len(table.entries)
+        assert table_view.entries == tuple(table.entries)
+
+
+@pytest.mark.parametrize("n_clients", sorted(BASE_PACKET_SETS))
+def test_columnar_matches_object_on_clean_sample(n_clients):
+    sample = packed_sample(
+        [(7, BASE_PACKET_SETS[n_clients], 1), (9, attack_packets(3), 2)]
+    )
+    columns = columns_for_sample(sample)
+    (view,) = columns.sample_views()
+    assert_sample_equivalent(view, parse_sample(sample))
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_columnar_matches_object_under_mutations(data):
+    """Fault-irregular captures defer to the lenient path: tables, entries,
+    and every ParseStats counter identical to the object pipeline."""
+    for sample in corpus_from(data, n_samples=2, mutated=True):
+        columns = columns_for_sample(sample)
+        (view,) = columns.sample_views()
+        assert_sample_equivalent(view, parse_sample(sample))
+
+
+def test_columnar_outage_and_empty_captures():
+    outage = OnpSample(t=500.0, mode=7, outage=True, coverage=0.0)
+    empties = packed_sample([(3, (), 1), (4, (), 1)], t=900.0)
+    for sample in (outage, empties):
+        columns = columns_for_sample(sample)
+        (view,) = columns.sample_views()
+        assert_sample_equivalent(view, parse_sample(sample))
+    # Empty captures are *accounted*, not skipped.
+    stats = columns_for_sample(empties).sample_views()[0].stats
+    assert stats.captures_total == 2 and stats.captures_failed == 2
+
+
+# ---------------------------------------------------------------------------
+# Parse-once ledger
+# ---------------------------------------------------------------------------
+
+
+def test_columnar_decode_advances_ledger_like_parse_sample():
+    samples = [
+        packed_sample([(7, BASE_PACKET_SETS[4], 1)], t=1000.0),
+        packed_sample([(8, attack_packets(2), 1)], t=2000.0),
+        packed_sample([], t=3000.0),
+    ]
+    before = parse_call_count()
+    build_event_columns(samples, jobs=1)
+    assert parse_call_count() - before == len(samples)
+
+    before = parse_call_count()
+    for sample in samples:
+        parse_sample(sample)
+    assert parse_call_count() - before == len(samples)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation kernels: columnar == object, report for report
+# ---------------------------------------------------------------------------
+
+
+class _FakeAsnTable:
+    """asn_of with unrouted holes, ASN 0 included (the -1 sentinel must
+    not shadow a real AS number)."""
+
+    def asn_of(self, ip):
+        if ip % 4 == 0:
+            return None
+        return ip % 7
+
+
+def _both_views(samples):
+    columnar = build_event_columns(samples, jobs=1).sample_views()
+    objects = [parse_sample(s) for s in samples]
+    return columnar, objects
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_victimology_kernels_match(data):
+    samples = corpus_from(data, n_samples=3, mutated=True)
+    columnar, objects = _both_views(samples)
+    fast = analyze_dataset(columnar, onp_ip=1)
+    slow = analyze_dataset(objects, onp_ip=1)
+    assert isinstance(fast, ColumnarVictimologyReport)
+    assert type(slow) is VictimologyReport
+    assert fast.total_attack_packets() == slow.total_attack_packets()
+    assert fast.victim_packet_stats() == slow.victim_packet_stats()
+    assert fast.port_table() == slow.port_table()
+    assert fast.attacks_per_hour() == slow.attacks_per_hour()
+    assert fast.amplifiers_per_victim() == slow.amplifiers_per_victim()
+    assert fast.all_victim_ips() == slow.all_victim_ips()
+    assert sorted(fast.durations()) == sorted(slow.durations())
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_concentration_kernel_matches_in_value_and_order(data):
+    """Figure 5's group-by: same {asn: packets} *in the same insertion
+    order* (most_common ties resolve by it), unrouted IPs dropped."""
+    samples = corpus_from(data, n_samples=3, mutated=False)
+    columnar, objects = _both_views(samples)
+    table = _FakeAsnTable()
+    fast = as_concentration(analyze_dataset(columnar), table)
+    slow = as_concentration(analyze_dataset(objects), table)
+    assert list(fast.victim_as_packets.items()) == list(slow.victim_as_packets.items())
+    assert list(fast.amplifier_as_packets.items()) == list(slow.amplifier_as_packets.items())
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_churn_kernel_matches(data):
+    samples = corpus_from(data, n_samples=4, mutated=True)
+    columnar, objects = _both_views(samples)
+    assert churn_report(columnar) == churn_report(objects)
+
+
+def version_sample(specs, t=1000.0, packed=True):
+    """A mode-6 version sweep sample; ``specs`` is ``[(ip, payload)]``
+    where payload is a READVAR string or pre-built raw packets."""
+    built = []
+    for ip, payload in specs:
+        if isinstance(payload, tuple):
+            built.append((ip, payload, 1))
+            continue
+        raw = payload.encode("ascii")
+        fragments = [
+            raw[i : i + MODE6_DATA_AREA] for i in range(0, len(raw), MODE6_DATA_AREA)
+        ] or [b""]
+        packets = tuple(
+            encode_mode6_response(
+                CTL_OP_READVAR,
+                fragment,
+                sequence=index,
+                offset=index * MODE6_DATA_AREA,
+                more=index < len(fragments) - 1,
+            )
+            for index, fragment in enumerate(fragments)
+        )
+        built.append((ip, packets, 1))
+    if packed:
+        return packed_sample(built, t=t, mode=6)
+    from tests.strategies import capture_of
+
+    sample = OnpSample(
+        t=t,
+        mode=6,
+        captures=[capture_of(packets, target_ip=ip, t=t) for ip, packets, _ in built],
+    )
+    return sample
+
+
+def test_version_parse_packed_matches_object_path():
+    """The packed version-sweep reader slices payloads straight from the
+    blob; records (and their last-write-wins order) match the view loop."""
+    payloads = [
+        render_system_variables("4.2.6p5", 2010, "Linux/2.6.32", "x86_64", 3, "GPS"),
+        render_system_variables("4.1.1", 2004, "cisco", "unknown", 16, ".INIT."),
+        (b"\x00\x01",),  # short mode-6 packet: unparseable, memoized skip
+    ]
+    specs = [(50, payloads[0]), (51, payloads[1]), (52, payloads[2]), (50, payloads[1])]
+    fast = parse_version_samples(
+        [version_sample(specs), version_sample(specs, t=2000.0)]
+    )
+    slow = parse_version_samples(
+        [version_sample(specs, packed=False), version_sample(specs, t=2000.0, packed=False)]
+    )
+    assert len(fast) == len(slow) > 0
+    assert [(r.ip, r.os_family, r.system, r.stratum, r.compile_year) for r in fast.records] == [
+        (r.ip, r.os_family, r.system, r.stratum, r.compile_year) for r in slow.records
+    ]
+    assert fast.os_distribution() == slow.os_distribution()
+    assert fast.stratum16_fraction() == slow.stratum16_fraction()
+
+
+# ---------------------------------------------------------------------------
+# Cache-envelope plumbing: concat and pickle round-trips
+# ---------------------------------------------------------------------------
+
+
+def test_event_columns_pickle_roundtrip():
+    samples = [
+        packed_sample([(7, BASE_PACKET_SETS[20], 1), (8, attack_packets(4), 3)]),
+        packed_sample([(9, BASE_PACKET_SETS[1], 1)], t=2000.0),
+    ]
+    columns = build_event_columns(samples, jobs=1)
+    clone = pickle.loads(pickle.dumps(columns))
+    assert isinstance(clone, EventColumns)
+    assert clone.samples.tobytes() == columns.samples.tobytes()
+    assert clone.tables.tobytes() == columns.tables.tobytes()
+    assert clone.entries.tobytes() == columns.entries.tobytes()
+    for a, b in zip(clone.sample_views(), columns.sample_views()):
+        assert isinstance(a, ColumnarSample)
+        assert a.stats == b.stats
+        assert [t.entries for t in a.tables] == [t.entries for t in b.tables]
+
+
+def test_concat_then_spill_preserves_byte_order(monkeypatch, tmp_path):
+    """np.concatenate (NumPy >= 2) recasts structured results to native
+    byte order; a spilled *merged* batch must still read back value-exact.
+    Regression: the spill view once assumed the canonical big-endian
+    dtype and byteswapped every entry of a concatenated corpus."""
+    monkeypatch.setenv("REPRO_SPILL_MB", "0")
+    monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+    samples = [
+        packed_sample([(7, BASE_PACKET_SETS[20], 1), (8, attack_packets(4), 3)]),
+        packed_sample([(9, attack_packets(2), 1)], t=2000.0),
+    ]
+    merged = build_event_columns(samples, jobs=1)  # concat + spill engaged
+    import numpy as np
+
+    assert isinstance(merged.entries.base, np.memmap) or isinstance(
+        merged.entries, np.memmap
+    )
+    for view, sample in zip(merged.sample_views(), samples):
+        assert_sample_equivalent(view, parse_sample(sample))
+
+
+def test_event_columns_spill_roundtrip(monkeypatch, tmp_path):
+    """Past the threshold the entries blob lives in a memmap; views and
+    pickling (which re-inlines) are unaffected."""
+    monkeypatch.setenv("REPRO_SPILL_MB", "0")
+    monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+    sample = packed_sample([(7, BASE_PACKET_SETS[40], 1)])
+    columns = columns_for_sample(sample)
+    spilled = columns.maybe_spill()
+    (view,) = spilled.sample_views()
+    assert_sample_equivalent(view, parse_sample(sample))
+    clone = pickle.loads(pickle.dumps(spilled))
+    assert clone.entries.tobytes() == spilled.entries.tobytes()

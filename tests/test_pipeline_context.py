@@ -142,6 +142,23 @@ def test_bench_pipeline_record(tmp_path):
     assert record["jobs"] == 2
     assert set(record["phases"]) == {"build", "parse", "render_serial", "render_parallel"}
     assert record["parse_calls"] > 0
+    memory = record["memory"]
+    assert set(memory) == {"peak_rss_mb", "self_mb", "children_mb", "spill_threshold_mb"}
+    assert memory["peak_rss_mb"] >= memory["self_mb"] > 0
+
+
+def test_bench_pipeline_render_and_rss_tripwires(tmp_path):
+    """--max-render-seconds and --max-rss-mb are CI gates: impossible
+    ceilings must fail the run (and still write the record)."""
+    out = tmp_path / "BENCH_pipeline.json"
+    argv = [
+        "bench-pipeline", "--scale", "0.0003", "--seed", "3",
+        "--quiet", "--jobs", "1", "--out", str(out),
+        "--max-render-seconds", "0", "--max-rss-mb", "1",
+    ]
+    assert main(argv) == 1
+    record = json.loads(out.read_text())
+    assert record["byte_identical"] is True
 
 
 def test_bench_build_records_faults_and_preset(tmp_path):
