@@ -943,6 +943,112 @@ def _bench_verify(args):
 
 
 # ---------------------------------------------------------------------------
+# Streaming service
+# ---------------------------------------------------------------------------
+
+
+def _serve(args):
+    """Build/load a world and serve its replay stream over HTTP/JSON."""
+    import asyncio
+
+    from repro.stream import serve_world
+
+    world = build_or_load_world(args)
+    return asyncio.run(
+        serve_world(
+            world,
+            host=args.host,
+            port=args.port,
+            skew=args.skew,
+            batch=args.batch,
+            pace=args.pace,
+        )
+    )
+
+
+def _stream_query(args):
+    """One query against a running ``repro serve`` instance."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    target = f"/query/{args.query}" if args.query not in ("health", "stats") else f"/{args.query}"
+    if args.n is not None:
+        target += f"?n={args.n}"
+    url = args.url.rstrip("/") + target
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            body = json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        print(json.dumps({"status": error.code, "error": json.loads(error.read())}))
+        return 1
+    except (urllib.error.URLError, OSError) as error:
+        print(f"error: cannot reach {url}: {error}", file=sys.stderr)
+        return 2
+    print(json.dumps(body, indent=2, sort_keys=True))
+    return 0
+
+
+def _bench_serve(args):
+    """Hammer an in-process service; write the BENCH_serve.json record.
+
+    The serve analogue of ``bench-pipeline``: ``--clients`` concurrent
+    simulated clients x ``--requests`` queries each against a service
+    ingesting the world's replay, recording queries/sec, ingest
+    records/sec, latency percentiles, and peak RSS.  ``--max-p95-ms`` and
+    ``--max-seconds`` turn it into a CI latency gate (exit 1 on breach).
+    """
+    import time as _time
+
+    from repro.stream import run_loadgen
+    from repro.util.io import atomic_write_json
+    from repro.util.pool import pool_provenance
+
+    params = _world_params(args)
+    world = build_or_load_world(args)
+    started = _time.monotonic()
+    result = run_loadgen(
+        world,
+        clients=args.clients,
+        requests=args.requests,
+        batch=args.batch,
+        pace=args.pace,
+    )
+    total = _time.monotonic() - started
+    self_mb, children_mb = _peak_rss_mb()
+    record = _provenance(args, params)
+    record.update(result)
+    record["total_seconds"] = round(total, 4)
+    record["memory"] = {
+        "peak_rss_mb": round(self_mb + children_mb, 2),
+        "self_mb": self_mb,
+        "children_mb": children_mb,
+    }
+    record["pool"] = pool_provenance()
+    atomic_write_json(args.out, record)
+    p95 = result["latency_ms"]["p95"]
+    print(
+        f"bench-serve: {result['queries_per_second']} q/s, "
+        f"{result['ingest']['records_per_second']} rec/s ingest, "
+        f"p50 {result['latency_ms']['p50']} ms, p95 {p95} ms "
+        f"({result['requests_ok']}/{result['requests_total']} ok) -> {args.out}"
+    )
+    failed = []
+    if result["requests_failed"]:
+        failed.append(f"{result['requests_failed']} requests failed")
+    if not result["ingest"]["balanced"]:
+        failed.append("ingest accounting unbalanced")
+    if args.max_p95_ms is not None and (p95 is None or p95 > args.max_p95_ms):
+        failed.append(f"p95 {p95} ms > ceiling {args.max_p95_ms} ms")
+    if args.max_seconds is not None and total > args.max_seconds:
+        failed.append(f"took {total:.2f}s > ceiling {args.max_seconds:.2f}s")
+    if failed:
+        print("FAIL: " + "; ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
 
@@ -1290,6 +1396,74 @@ def main(argv=None):
     )
     p_manifest.add_argument("--quiet", action="store_true", default=False)
 
+    p_serve = subparsers.add_parser(
+        "serve",
+        help="long-running HTTP/JSON streaming-analysis service over a world's replay",
+    )
+    _add_world_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="0 binds an ephemeral port (printed on start)"
+    )
+    p_serve.add_argument(
+        "--skew",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="watermark lag: tolerate records up to this far behind the stream head",
+    )
+    p_serve.add_argument(
+        "--batch",
+        type=int,
+        default=256,
+        metavar="N",
+        help="records ingested per event-loop turn (queries interleave between batches)",
+    )
+    p_serve.add_argument(
+        "--pace",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep between ingest batches (0 = ingest as fast as the loop allows)",
+    )
+
+    p_squery = subparsers.add_parser(
+        "stream-query", help="query a running 'repro serve' instance"
+    )
+    p_squery.add_argument(
+        "query",
+        help="query name (victims, top_victims, scanners, traffic, ingest, ...) "
+        "or 'health'/'stats'",
+    )
+    p_squery.add_argument("--url", default="http://127.0.0.1:8123", help="service base URL")
+    p_squery.add_argument("--n", type=int, default=None, help="top-K size for top_* queries")
+    p_squery.add_argument("--timeout", type=float, default=10.0)
+
+    p_bench_serve = subparsers.add_parser(
+        "bench-serve",
+        help="load-test the streaming service, write BENCH_serve.json",
+    )
+    _add_world_args(p_bench_serve)
+    p_bench_serve.add_argument("--clients", type=int, default=8, metavar="N")
+    p_bench_serve.add_argument(
+        "--requests", type=int, default=25, metavar="N", help="queries per client"
+    )
+    p_bench_serve.add_argument("--batch", type=int, default=256, metavar="N")
+    p_bench_serve.add_argument("--pace", type=float, default=0.0, metavar="SECONDS")
+    p_bench_serve.add_argument("--out", default="BENCH_serve.json")
+    p_bench_serve.add_argument(
+        "--max-p95-ms",
+        type=float,
+        default=None,
+        help="exit 1 if p95 query latency exceeds this many milliseconds",
+    )
+    p_bench_serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="exit 1 if the whole exercise exceeds this wall clock",
+    )
+
     subparsers.add_parser("list", help="list artifacts and presets")
 
     args = parser.parse_args(argv)
@@ -1325,6 +1499,20 @@ def main(argv=None):
             return 2
     if args.command == "verify-manifest":
         return _verify_manifest(args)
+    if args.command == "serve":
+        try:
+            return _serve(args)
+        except CliError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.command == "stream-query":
+        return _stream_query(args)
+    if args.command == "bench-serve":
+        try:
+            return _bench_serve(args)
+        except CliError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     if args.command == "render":
         if args.all:

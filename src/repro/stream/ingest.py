@@ -1,0 +1,473 @@
+"""The incremental engine: windowed aggregates + sketches over a stream.
+
+:class:`StreamEngine` consumes :class:`~repro.stream.replay.StreamRecord`
+values one at a time and maintains, simultaneously:
+
+* **per-window exact state** — one :class:`~repro.stream.windows.WindowSet`
+  per record kind (weekly capture windows aligned to the first sweep,
+  daily windows for the darknet / ISP / Arbor flows), finalized into small
+  summary dicts once the watermark passes;
+* **global sketches** — count-min plus space-saving top-K over victim
+  packets (by IP and by origin AS), amplifier entry counts, and Merit
+  victim bytes, so "top victims since the campaign started" is answerable
+  from a few kilobytes at any point of the stream;
+* **global exact counters** — totals kept redundantly with the window
+  ledgers so a reader can check ``sum(windows) == global`` inside a single
+  snapshot (the no-torn-reads contract the service tests assert).
+
+Mode-7 captures are decoded with the *same* parser the batch corpus uses
+(:func:`~repro.analysis.monlist_parse.reconstruct_table_fast`, with its
+internal lenient fallback) and classified entry-by-entry with the *same*
+:func:`~repro.analysis.victimology.classify_entry` filter, so end-of-window
+streaming counts equal the batch answers integer for integer; only the
+float-summed byte volumes and the sketches carry declared error bounds.
+The streaming path deliberately does not advance the batch parse-once
+ledger — replay is a re-read of the measurement layer, and the engine's
+own ingest accounting (``total == applied + late + duplicate`` per kind)
+is the discipline that replaces it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.monlist_parse import ParseStats, reconstruct_table_fast
+from repro.analysis.victimology import (
+    CLASS_NON_VICTIM,
+    CLASS_SCANNER,
+    classify_entry,
+)
+from repro.stream.sketches import CountMinSketch, SpaceSavingTopK
+from repro.stream.windows import WindowSet
+from repro.util.simtime import DAY, HOUR, WEEK
+from repro.util.stats import percentile
+
+__all__ = ["StreamEngine", "QUERY_NAMES"]
+
+_STATS_FIELDS = tuple(f.name for f in dataclasses.fields(ParseStats))
+
+#: Query names the engine (and therefore the service) answers.
+QUERY_NAMES = (
+    "amplifiers",
+    "victims",
+    "top_victims",
+    "top_amplifiers",
+    "top_ases",
+    "top_isp_victims",
+    "scanners",
+    "traffic",
+    "parse_stats",
+    "ingest",
+)
+
+
+def _stats_dict(stats):
+    return {name: getattr(stats, name) for name in _STATS_FIELDS}
+
+
+def _add_stats(into, stats):
+    for name in _STATS_FIELDS:
+        into[name] += getattr(stats, name)
+
+
+class StreamEngine:
+    """Windowed, sketch-backed aggregation over one merged record stream."""
+
+    def __init__(
+        self,
+        capture_origin=0.0,
+        capture_width=float(WEEK),
+        skew=0.0,
+        asn_of=None,
+        onp_ip=None,
+        topk_capacity=64,
+        cm_epsilon=0.005,
+        cm_delta=0.01,
+    ):
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        self.skew = float(skew)
+        self.asn_of = asn_of
+        self.onp_ip = onp_ip
+        self.max_event_t = None
+        self.records_seen = 0
+        self.unknown_kinds = 0
+
+        self.windows = {
+            "sweep": WindowSet(
+                capture_width,
+                origin=capture_origin,
+                state_factory=self._new_sweep_state,
+            ),
+            "capture": WindowSet(
+                capture_width,
+                origin=capture_origin,
+                state_factory=self._new_capture_state,
+                finalize=self._finalize_capture,
+                on_close=self._fold_capture_stats,
+            ),
+            "darknet": WindowSet(
+                float(DAY), state_factory=set, finalize=self._finalize_darknet
+            ),
+            "isp": WindowSet(
+                float(DAY),
+                state_factory=self._new_isp_state,
+                finalize=self._finalize_isp,
+            ),
+            "arbor": WindowSet(
+                float(DAY),
+                state_factory=self._new_arbor_state,
+                finalize=self._finalize_arbor,
+            ),
+        }
+        self._apply = {
+            "sweep": self._apply_sweep,
+            "capture": self._apply_capture,
+            "darknet": self._apply_darknet,
+            "isp": self._apply_isp,
+            "arbor": self._apply_arbor,
+        }
+
+        self.sketches = {
+            "victim_packets": {
+                "cm": CountMinSketch(cm_epsilon, cm_delta),
+                "topk": SpaceSavingTopK(topk_capacity),
+            },
+            "as_packets": {
+                "cm": CountMinSketch(cm_epsilon, cm_delta),
+                "topk": SpaceSavingTopK(topk_capacity),
+            },
+            "amplifier_entries": {
+                "cm": CountMinSketch(cm_epsilon, cm_delta),
+                "topk": SpaceSavingTopK(topk_capacity),
+            },
+            "isp_victim_bytes": {
+                "cm": CountMinSketch(cm_epsilon, cm_delta),
+                "topk": SpaceSavingTopK(topk_capacity),
+            },
+        }
+
+        # Stream-global exact counters, redundant with the window ledgers
+        # on purpose: every snapshot can be cross-checked internally.
+        self.global_stats = {name: 0 for name in _STATS_FIELDS}
+        self.totals = {
+            "captures": 0,
+            "tables": 0,
+            "entries": 0,
+            "victim_pairs": 0,
+            "victim_packets": 0,
+            "scanner_entries": 0,
+            "non_victim_entries": 0,
+            "darknet_memberships": 0,
+            "isp_cells": 0,
+            "isp_bytes": 0.0,
+            "arbor_days": 0,
+            "arbor_gap_days": 0,
+        }
+
+    @classmethod
+    def for_world(cls, world, plan=None, **kwargs):
+        """An engine configured for a world's replay stream."""
+        from repro.attack.scanner import ONP_PROBER_IP
+        from repro.stream.replay import replay_plan
+
+        plan = plan or replay_plan(world)
+        kwargs.setdefault("asn_of", world.table.asn_of)
+        kwargs.setdefault("onp_ip", ONP_PROBER_IP)
+        return cls(
+            capture_origin=plan["capture_origin"],
+            capture_width=plan["capture_width"],
+            **kwargs,
+        )
+
+    # -- per-kind window state ------------------------------------------------
+
+    @staticmethod
+    def _new_sweep_state():
+        return {"sweeps": 0, "outages": 0, "coverage": [], "n_captures": 0}
+
+    @staticmethod
+    def _new_capture_state():
+        return {
+            "stats": ParseStats(),
+            "amplifiers": set(),
+            "victims": set(),
+            "victim_pairs": 0,
+            "victim_packets": 0,
+            "scanner_entries": 0,
+            "non_victim_entries": 0,
+            "max_last_seen": [],
+        }
+
+    @staticmethod
+    def _new_isp_state():
+        return {"victims": {}, "cells": 0}
+
+    @staticmethod
+    def _new_arbor_state():
+        return {"total_bps": None, "ntp_bps": None, "dns_bps": None, "gap": False}
+
+    # -- appliers -------------------------------------------------------------
+
+    def _apply_sweep(self, state, payload):
+        state["sweeps"] += 1
+        state["outages"] += 1 if payload["outage"] else 0
+        state["coverage"].append(payload["coverage"])
+        state["n_captures"] += payload["n_captures"]
+
+    def _apply_capture(self, state, capture):
+        self.totals["captures"] += 1
+        table = reconstruct_table_fast(capture, state["stats"])
+        if table is None:
+            return
+        self.totals["tables"] += 1
+        amp = table.amplifier_ip
+        state["amplifiers"].add(amp)
+        entries = table.entries
+        if entries:
+            self.sketches["amplifier_entries"]["cm"].add(amp, len(entries))
+            self.sketches["amplifier_entries"]["topk"].add(amp, len(entries))
+        largest = 0
+        for entry in entries:
+            self.totals["entries"] += 1
+            if entry.last_int > largest:
+                largest = entry.last_int
+            if self.onp_ip is not None and entry.addr == self.onp_ip:
+                continue
+            kind = classify_entry(entry)
+            if kind == CLASS_NON_VICTIM:
+                state["non_victim_entries"] += 1
+                self.totals["non_victim_entries"] += 1
+            elif kind == CLASS_SCANNER:
+                state["scanner_entries"] += 1
+                self.totals["scanner_entries"] += 1
+            else:
+                state["victim_pairs"] += 1
+                state["victims"].add(entry.addr)
+                state["victim_packets"] += entry.count
+                self.totals["victim_pairs"] += 1
+                self.totals["victim_packets"] += entry.count
+                self.sketches["victim_packets"]["cm"].add(entry.addr, entry.count)
+                self.sketches["victim_packets"]["topk"].add(entry.addr, entry.count)
+                if self.asn_of is not None:
+                    asn = self.asn_of(entry.addr)
+                    if asn is not None:
+                        self.sketches["as_packets"]["cm"].add(asn, entry.count)
+                        self.sketches["as_packets"]["topk"].add(asn, entry.count)
+        if entries:
+            state["max_last_seen"].append(largest)
+
+    def _apply_darknet(self, state, scanner_ip):
+        state.add(scanner_ip)
+        self.totals["darknet_memberships"] += 1
+
+    def _apply_isp(self, state, payload):
+        ip, volume = payload
+        state["victims"][ip] = state["victims"].get(ip, 0.0) + volume
+        state["cells"] += 1
+        self.totals["isp_cells"] += 1
+        self.totals["isp_bytes"] += volume
+        self.sketches["isp_victim_bytes"]["cm"].add(ip, volume)
+        self.sketches["isp_victim_bytes"]["topk"].add(ip, volume)
+
+    def _apply_arbor(self, state, payload):
+        if payload is None:
+            state["gap"] = True
+            self.totals["arbor_gap_days"] += 1
+            return
+        state["total_bps"], state["ntp_bps"], state["dns_bps"] = payload
+        self.totals["arbor_days"] += 1
+
+    # -- finalizers -----------------------------------------------------------
+
+    def _fold_capture_stats(self, state):
+        # Runs exactly once per window, at close; open windows are folded
+        # non-destructively at read time by query_parse_stats.
+        _add_stats(self.global_stats, state["stats"])
+
+    def _finalize_capture(self, index, lo, hi, state, records):
+        mls = state["max_last_seen"]
+        return {
+            "captures": records,
+            "amplifiers": len(state["amplifiers"]),
+            "victim_pairs": state["victim_pairs"],
+            "unique_victims": len(state["victims"]),
+            "victim_packets": state["victim_packets"],
+            "scanner_entries": state["scanner_entries"],
+            "non_victim_entries": state["non_victim_entries"],
+            "median_view_hours": percentile(mls, 50) / HOUR if mls else 0.0,
+            "stats": _stats_dict(state["stats"]),
+        }
+
+    @staticmethod
+    def _finalize_darknet(index, lo, hi, state, records):
+        return {"scanners": len(state)}
+
+    @staticmethod
+    def _finalize_isp(index, lo, hi, state, records):
+        return {
+            "cells": state["cells"],
+            "victims": len(state["victims"]),
+            "bytes": sum(state["victims"].values()),
+        }
+
+    @staticmethod
+    def _finalize_arbor(index, lo, hi, state, records):
+        total, ntp, dns = state["total_bps"], state["ntp_bps"], state["dns_bps"]
+        if state["gap"] and total is None:
+            return {"gap": True, "ntp_frac": None, "dns_frac": None}
+        if not total:
+            return {"gap": False, "ntp_frac": 0.0, "dns_frac": 0.0}
+        return {"gap": False, "ntp_frac": ntp / total, "dns_frac": dns / total}
+
+    # -- ingest ---------------------------------------------------------------
+
+    @property
+    def watermark(self):
+        """Latest event time minus the tolerated skew (None before any
+        record)."""
+        if self.max_event_t is None:
+            return None
+        return self.max_event_t - self.skew
+
+    def ingest(self, record):
+        """Apply one record; returns True iff it landed in an open window."""
+        self.records_seen += 1
+        window_set = self.windows.get(record.kind)
+        if window_set is None:
+            self.unknown_kinds += 1
+            return False
+        if self.max_event_t is None or record.t > self.max_event_t:
+            self.max_event_t = record.t
+        watermark = self.watermark
+        state = window_set.offer(record.t, record.uid, watermark)
+        applied = state is not None
+        if applied:
+            self._apply[record.kind](state, record.payload)
+        for ws in self.windows.values():
+            ws.advance(watermark)
+        return applied
+
+    def ingest_many(self, records):
+        """Drive a whole iterable through :meth:`ingest`; returns the
+        number applied."""
+        applied = 0
+        for record in records:
+            if self.ingest(record):
+                applied += 1
+        return applied
+
+    def close(self):
+        """End of stream: finalize every still-open window."""
+        for ws in self.windows.values():
+            ws.close_all()
+
+    # -- queries --------------------------------------------------------------
+
+    def query(self, name, **params):
+        """Dispatch one named query (the service's surface)."""
+        if name == "amplifiers":
+            return self._windows_query("capture")
+        if name == "victims":
+            return self._windows_query("capture")
+        if name == "top_victims":
+            return self._top_query("victim_packets", params)
+        if name == "top_amplifiers":
+            return self._top_query("amplifier_entries", params)
+        if name == "top_ases":
+            return self._top_query("as_packets", params)
+        if name == "top_isp_victims":
+            return self._top_query("isp_victim_bytes", params)
+        if name == "scanners":
+            return self._windows_query("darknet")
+        if name == "traffic":
+            return self._windows_query("arbor")
+        if name == "parse_stats":
+            return self.query_parse_stats()
+        if name == "ingest":
+            return self.query_ingest()
+        raise KeyError(f"unknown query {name!r} (have: {', '.join(QUERY_NAMES)})")
+
+    def _windows_query(self, kind):
+        rows = [
+            {"window": index, "lo": lo, "hi": hi, "open": is_open, **summary}
+            for index, lo, hi, summary, is_open in self.windows[kind].summaries()
+        ]
+        return {"kind": kind, "windows": rows, "watermark": self.watermark}
+
+    def _top_query(self, sketch_name, params):
+        n = params.get("n")
+        n = int(n) if n is not None else 10
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        pair = self.sketches[sketch_name]
+        top = pair["topk"].top(n)
+        return {
+            "sketch": sketch_name,
+            "guarantee_threshold": pair["topk"].guarantee_threshold(),
+            "cm_error_bound": pair["cm"].error_bound(),
+            "entries": [
+                {
+                    "key": key,
+                    "count": count,
+                    "error": error,
+                    "cm_estimate": pair["cm"].estimate(key),
+                }
+                for key, count, error in top
+            ],
+        }
+
+    def query_parse_stats(self):
+        """Stream-global ParseStats: closed windows' folded counters plus
+        the still-open windows, read without closing them."""
+        out = dict(self.global_stats)
+        for window in self.windows["capture"].open.values():
+            _add_stats(out, window.state["stats"])
+        return out
+
+    def query_ingest(self):
+        accounting = {kind: ws.accounting() for kind, ws in self.windows.items()}
+        return {
+            "records_seen": self.records_seen,
+            "unknown_kinds": self.unknown_kinds,
+            "watermark": self.watermark,
+            "skew": self.skew,
+            "balanced": self.balanced,
+            "kinds": accounting,
+            "totals": dict(self.totals),
+        }
+
+    @property
+    def balanced(self):
+        """Every record accounted: per-kind ledgers balance and their
+        totals plus unknown-kind records cover everything seen."""
+        per_kind = all(ws.balanced for ws in self.windows.values())
+        covered = (
+            sum(ws.total for ws in self.windows.values()) + self.unknown_kinds
+        ) == self.records_seen
+        return per_kind and covered
+
+    def snapshot(self):
+        """One internally consistent view of everything the engine knows.
+
+        The redundant global counters ride along so a reader can assert
+        ``sum over windows == global`` without a second request — the
+        torn-read check the service tests run against concurrent
+        ingestion.
+        """
+        capture_windows = self._windows_query("capture")["windows"]
+        return {
+            "records_seen": self.records_seen,
+            "watermark": self.watermark,
+            "capture_windows": capture_windows,
+            "windowed_victim_pairs": sum(
+                w["victim_pairs"] for w in capture_windows
+            ),
+            "totals": dict(self.totals),
+            "parse_stats": self.query_parse_stats(),
+            "ingest": self.query_ingest(),
+            "sketches": {
+                name: {"cm": pair["cm"].as_dict(), "topk": pair["topk"].as_dict(10)}
+                for name, pair in self.sketches.items()
+            },
+        }

@@ -1,0 +1,145 @@
+"""Load generator: N concurrent simulated clients against the service.
+
+``repro bench-serve`` runs the whole exercise in one process: the service
+(ingesting a world's replay in the background) plus ``clients`` coroutine
+clients, each issuing ``requests`` HTTP queries drawn round-robin from a
+representative mix.  Latency is measured per request from connect to
+parsed JSON body, so the numbers include the loop-scheduling cost a real
+client would pay while ingestion competes for the loop.
+
+The result dict is the BENCH_serve.json payload: queries/sec, ingest
+records/sec, p50/p95/max latency, error counts, plus whatever ingest
+accounting the engine reports at the end — the CLI layer adds provenance
+and peak RSS, keeping this module importable without the CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro.stream.service import StreamService
+from repro.util.stats import percentile
+
+__all__ = ["DEFAULT_QUERY_MIX", "run_loadgen"]
+
+#: Round-robin request mix: windowed reads, sketch reads, accounting.
+DEFAULT_QUERY_MIX = (
+    "/query/victims",
+    "/query/top_victims?n=10",
+    "/query/scanners",
+    "/query/top_ases?n=5",
+    "/query/traffic",
+    "/query/ingest",
+    "/health",
+)
+
+
+async def _fetch(host, port, target):
+    """One HTTP/1.0 GET; returns (status, parsed body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(f"GET {target} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode())
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(None, 2)[1])
+    return status, json.loads(body)
+
+
+async def _client(host, port, targets, latencies, errors):
+    for target in targets:
+        started = time.monotonic()
+        try:
+            status, _body = await _fetch(host, port, target)
+        except (OSError, ValueError, json.JSONDecodeError):
+            errors.append(target)
+            continue
+        latencies.append(time.monotonic() - started)
+        if status != 200:
+            errors.append(target)
+
+
+async def _run(world, clients, requests, mix, batch, pace, skew):
+    from repro.stream.ingest import StreamEngine
+    from repro.stream.replay import replay_plan, replay_records
+
+    plan = replay_plan(world)
+    engine = StreamEngine.for_world(world, plan=plan, skew=skew)
+    service = StreamService(
+        engine, replay_records(world), batch=batch, pace=pace
+    )
+    await service.start()
+    latencies, errors = [], []
+    started = time.monotonic()
+    try:
+        tasks = []
+        for c in range(clients):
+            targets = [mix[(c + i) % len(mix)] for i in range(requests)]
+            tasks.append(
+                asyncio.create_task(
+                    _client(service.host, service.port, targets, latencies, errors)
+                )
+            )
+        await asyncio.gather(*tasks)
+        query_seconds = time.monotonic() - started
+        # Let ingestion finish so records/sec covers the whole stream.
+        while not service.ingest_done:
+            await asyncio.sleep(0.01)
+    finally:
+        service.request_shutdown()
+        await service.stop()
+
+    total_requests = clients * requests
+    ok = len(latencies)
+    lat_ms = sorted(x * 1000.0 for x in latencies)
+    return {
+        "clients": clients,
+        "requests_per_client": requests,
+        "requests_total": total_requests,
+        "requests_ok": ok,
+        "requests_failed": len(errors),
+        "query_mix": list(mix),
+        "queries_per_second": round(ok / query_seconds, 2) if query_seconds else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(lat_ms, 50), 3) if lat_ms else None,
+            "p95": round(percentile(lat_ms, 95), 3) if lat_ms else None,
+            "max": round(lat_ms[-1], 3) if lat_ms else None,
+        },
+        "ingest": {
+            "records": engine.records_seen,
+            "expected": plan["expected_total"],
+            "seconds": round(service.ingest_seconds, 4),
+            "records_per_second": round(
+                engine.records_seen / service.ingest_seconds, 2
+            )
+            if service.ingest_seconds
+            else 0.0,
+            "done": service.ingest_done,
+            "balanced": engine.balanced,
+            "batch": batch,
+            "pace": pace,
+        },
+    }
+
+
+def run_loadgen(
+    world,
+    clients=8,
+    requests=25,
+    mix=DEFAULT_QUERY_MIX,
+    batch=256,
+    pace=0.0,
+    skew=0.0,
+):
+    """Run the in-process service + client fleet; return the BENCH payload."""
+    if clients < 1 or requests < 1:
+        raise ValueError("clients and requests must be >= 1")
+    return asyncio.run(_run(world, clients, requests, tuple(mix), batch, pace, skew))

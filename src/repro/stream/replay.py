@@ -1,0 +1,198 @@
+"""Replay adapters: a built world's datasets as one sim-time record stream.
+
+The batch pipeline reads each dataset whole; the streaming engine wants
+the same material as a single merged sequence of timestamped records, the
+shape a live tap would deliver.  This module is the bridge: it walks the
+world's packed capture stores and compacted flow arrays *without*
+materializing object corpora, and yields :class:`StreamRecord` values in
+nondecreasing sim-time order.
+
+Record kinds
+------------
+``sweep``
+    One per weekly ONP monlist sample (``t`` = sample time); the payload
+    carries the apparatus flags (outage, coverage, capture count) so a
+    sweep window exists even when an outage produced zero captures.
+``capture``
+    One per mode-7 probe capture (``t`` = its sample's time); the payload
+    is the :class:`~repro.measurement.onp.ProbeCapture` view, decoded by
+    the engine capture-by-capture with the *same* fast/lenient parser the
+    batch corpus uses — ParseStats counters are additive, so the stream's
+    per-window stats equal the batch per-sample stats counter for counter.
+``darknet``
+    One per (day, scanner IP) membership in the telescope's compacted
+    pair array (``t`` = the day's start).
+``isp``
+    One per (victim IP, hour, bytes) cell of the Merit site's compacted
+    victim columns (``t`` = the hour's start) — the Fig 13 signal.
+``arbor``
+    One per daily traffic row (``t`` = the day's start); collector-outage
+    days yield a payload of ``None`` (the explicit gap marker Fig 1
+    renders, never an interpolated value).
+
+Replay is a deliberate re-read of the measurement layer, so it does not
+touch the parse-once ledger; the engine keeps its own ingest counters.
+Every record carries a stable ``uid`` so duplicate-delivery tests can
+inject repeats the engine must detect.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.util.simtime import DAY, HOUR, WEEK
+
+__all__ = ["StreamRecord", "replay_records", "replay_plan"]
+
+#: Deterministic tie-break for records sharing a timestamp: sweeps open
+#: their window before captures fill it; flow kinds follow.
+_KIND_RANK = {"sweep": 0, "capture": 1, "darknet": 2, "isp": 3, "arbor": 4}
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """One timestamped event of the merged stream."""
+
+    t: float
+    kind: str
+    uid: tuple
+    payload: object
+
+    def sort_key(self, seq):
+        return (self.t, _KIND_RANK.get(self.kind, 9), seq)
+
+
+def _onp_records(world):
+    for s_idx, sample in enumerate(world.onp.monlist_samples):
+        n = len(sample)
+        yield StreamRecord(
+            t=float(sample.t),
+            kind="sweep",
+            uid=("sweep", s_idx),
+            payload={
+                "outage": bool(getattr(sample, "outage", False)),
+                "coverage": float(getattr(sample, "coverage", 1.0)),
+                "n_captures": n,
+            },
+        )
+        packed = getattr(sample, "packed", None)
+        if packed is not None:
+            views = (packed.view(i) for i in range(len(packed)))
+        else:
+            views = iter(sample.captures)
+        for c_idx, capture in enumerate(views):
+            yield StreamRecord(
+                t=float(sample.t),
+                kind="capture",
+                uid=("cap", s_idx, c_idx),
+                payload=capture,
+            )
+
+
+def _darknet_records(world):
+    darknet = world.darknet
+    seen = set()
+    pairs = getattr(darknet, "_scanner_pairs", None)
+    if pairs is not None and len(pairs):
+        for day, ip in pairs.tolist():
+            seen.add((int(day), int(ip)))
+    for day, ips in getattr(darknet, "_daily_scanners", {}).items():
+        for ip in ips:
+            seen.add((int(day), int(ip)))
+    for day, ip in sorted(seen):
+        yield StreamRecord(
+            t=float(day * DAY), kind="darknet", uid=("dk", day, ip), payload=ip
+        )
+
+
+def _isp_records(world, site_name="merit"):
+    site = world.isp.sites.get(site_name)
+    if site is None:
+        return
+    rows = []
+    cols = getattr(site, "_victim_cols", None)
+    if cols is not None:
+        ips, hours, volumes = cols
+        rows.extend(
+            zip(
+                (int(v) for v in ips.tolist()),
+                (int(h) for h in hours.tolist()),
+                (float(v) for v in volumes.tolist()),
+            )
+        )
+    for (ip, hour), volume in getattr(site, "victim_hourly", {}).items():
+        rows.append((int(ip), int(hour), float(volume)))
+    rows.sort(key=lambda r: (r[1], r[0]))
+    for seq, (ip, hour, volume) in enumerate(rows):
+        yield StreamRecord(
+            t=float(site.start + hour * HOUR),
+            kind="isp",
+            uid=("isp", site_name, seq),
+            payload=(ip, volume),
+        )
+
+
+def _arbor_records(world):
+    arbor = world.arbor
+    for daily in arbor.daily:
+        yield StreamRecord(
+            t=float(daily.day * DAY),
+            kind="arbor",
+            uid=("ab", daily.day),
+            payload=(daily.total_bps, daily.ntp_bps, daily.dns_bps),
+        )
+    for day in getattr(arbor, "missing_days", ()) or ():
+        yield StreamRecord(
+            t=float(day * DAY), kind="arbor", uid=("ab", day), payload=None
+        )
+
+
+def replay_records(world, site_name="merit"):
+    """Yield the world's records merged in nondecreasing sim-time order.
+
+    Each source is already time-ordered; ``heapq.merge`` interleaves them
+    with a deterministic ``(t, kind, sequence)`` key, so two replays of
+    the same world produce identical streams.
+    """
+    sources = [
+        _onp_records(world),
+        _darknet_records(world),
+        _isp_records(world, site_name),
+        _arbor_records(world),
+    ]
+
+    def keyed(source):
+        for seq, record in enumerate(source):
+            yield record.sort_key(seq), record
+
+    for _, record in heapq.merge(*(keyed(s) for s in sources)):
+        yield record
+
+
+def replay_plan(world, site_name="merit"):
+    """The engine-configuration facts a replay implies.
+
+    ``capture_origin`` aligns the weekly capture windows so each monlist
+    sample lands in its own window; ``expected`` carries per-kind record
+    counts for ingest-rate provenance (BENCH_serve.json) and end-of-run
+    accounting checks.
+    """
+    samples = world.onp.monlist_samples
+    origin = float(samples[0].t) if samples else 0.0
+    site = world.isp.sites.get(site_name)
+    counts = {
+        "sweep": len(samples),
+        "capture": sum(len(s) for s in samples),
+        "darknet": sum(1 for _ in _darknet_records(world)),
+        "isp": sum(1 for _ in _isp_records(world, site_name)),
+        "arbor": sum(1 for _ in _arbor_records(world)),
+    }
+    return {
+        "capture_origin": origin,
+        "capture_width": float(WEEK),
+        "isp_origin": float(site.start) if site is not None else 0.0,
+        "site": site_name,
+        "expected": counts,
+        "expected_total": sum(counts.values()),
+    }

@@ -1,0 +1,244 @@
+"""A long-running asyncio HTTP/JSON service over one streaming engine.
+
+``python -m repro serve`` builds (or loads) a world, starts ingesting its
+replay stream in the background, and answers queries over plain HTTP the
+whole time — the serving posture AMON runs in production, scaled down to
+the repro.  Everything is standard library: ``asyncio.start_server`` plus
+a hand-rolled HTTP/1.0 exchange (one request per connection), because the
+container ships no aiohttp and the protocol surface here is tiny.
+
+Consistency model
+-----------------
+The server and the ingest task share one event loop.  Ingestion applies
+records in synchronous batches — :meth:`StreamEngine.ingest` never awaits
+— and only yields to the loop *between* batches, so every request handler
+runs against an engine that is between-records: snapshots are internally
+consistent by construction (no torn reads), which the service tests
+verify by cross-checking the redundant global counters inside each
+response.
+
+Lifecycle
+---------
+On start the service prints one JSON line (``{"serving": ...}``) to
+stdout so callers can discover the bound (possibly ephemeral) port.
+SIGTERM and SIGINT drain cleanly: stop accepting, cancel ingestion at a
+batch boundary, close open connections, print ``{"drained": ...}``, exit
+0 — the no-orphan discipline the supervision tests enforce elsewhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.stream.ingest import QUERY_NAMES
+
+__all__ = ["StreamService", "serve_world"]
+
+_MAX_REQUEST_BYTES = 16384
+
+
+class StreamService:
+    """One engine, one record iterator, one asyncio server."""
+
+    def __init__(self, engine, records, host="127.0.0.1", port=0, batch=256, pace=0.0):
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.engine = engine
+        self.records = iter(records)
+        self.host = host
+        self.port = int(port)
+        self.batch = int(batch)
+        self.pace = float(pace)
+        self.server = None
+        self.ingest_task = None
+        self.ingest_done = False
+        self.ingest_seconds = 0.0
+        self.requests_served = 0
+        self.requests_rejected = 0
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self):
+        """Bind the server and kick off background ingestion."""
+        self.server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self.server.sockets[0].getsockname()[1]
+        self.ingest_task = asyncio.create_task(self._ingest())
+        return self
+
+    async def _ingest(self):
+        started = time.monotonic()
+        try:
+            while True:
+                applied = 0
+                for record in self.records:
+                    self.engine.ingest(record)
+                    applied += 1
+                    if applied >= self.batch:
+                        break
+                if applied < self.batch:
+                    self.engine.close()
+                    self.ingest_done = True
+                    return
+                # Yield between synchronous batches: this await is the
+                # only point queries can interleave with ingestion.
+                await asyncio.sleep(self.pace)
+        finally:
+            self.ingest_seconds = time.monotonic() - started
+
+    def request_shutdown(self):
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self, install_signals=True):
+        """Run until SIGTERM/SIGINT or :meth:`request_shutdown`; drain."""
+        loop = asyncio.get_running_loop()
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, self._shutdown.set)
+        try:
+            await self._shutdown.wait()
+        finally:
+            await self.stop()
+            if install_signals:
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    loop.remove_signal_handler(signum)
+
+    async def stop(self):
+        """Stop accepting, cancel ingestion at a batch boundary, close."""
+        if self.ingest_task is not None and not self.ingest_task.done():
+            self.ingest_task.cancel()
+            try:
+                await self.ingest_task
+            except asyncio.CancelledError:
+                pass
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+
+    def describe(self):
+        return {
+            "host": self.host,
+            "port": self.port,
+            "queries": list(QUERY_NAMES),
+            "batch": self.batch,
+            "pace": self.pace,
+        }
+
+    def drain_summary(self):
+        return {
+            "requests_served": self.requests_served,
+            "requests_rejected": self.requests_rejected,
+            "records_seen": self.engine.records_seen,
+            "ingest_done": self.ingest_done,
+            "ingest_seconds": round(self.ingest_seconds, 4),
+            "balanced": self.engine.balanced,
+        }
+
+    # -- one HTTP exchange ---------------------------------------------------
+
+    async def _handle(self, reader, writer):
+        try:
+            status, body = await self._respond(reader)
+            payload = json.dumps(body).encode()
+            head = (
+                f"HTTP/1.0 {status} {_REASONS.get(status, 'OK')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            writer.write(head + payload)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(self, reader):
+        try:
+            request_line = await reader.readline()
+        except (ValueError, ConnectionResetError):
+            self.requests_rejected += 1
+            return 400, {"error": "unreadable request"}
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            self.requests_rejected += 1
+            return 400, {"error": "malformed request line"}
+        method, target = parts[0], parts[1]
+        # Drain headers (bounded) so well-behaved clients see the reply.
+        drained = 0
+        while drained < _MAX_REQUEST_BYTES:
+            line = await reader.readline()
+            drained += len(line)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        if method != "GET":
+            self.requests_rejected += 1
+            return 405, {"error": f"method {method} not allowed (GET only)"}
+        return self._route(target)
+
+    def _route(self, target):
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        params = dict(parse_qsl(url.query))
+        if path == "/health":
+            self.requests_served += 1
+            return 200, {
+                "ok": True,
+                "records_seen": self.engine.records_seen,
+                "ingest_done": self.ingest_done,
+                "watermark": self.engine.watermark,
+            }
+        if path == "/stats":
+            self.requests_served += 1
+            return 200, self.engine.snapshot()
+        if path.startswith("/query/"):
+            name = path[len("/query/"):]
+            try:
+                result = self.engine.query(name, **params)
+            except KeyError as exc:
+                self.requests_rejected += 1
+                return 400, {"error": str(exc.args[0])}
+            except (TypeError, ValueError) as exc:
+                self.requests_rejected += 1
+                return 400, {"error": f"bad query parameters: {exc}"}
+            self.requests_served += 1
+            return 200, {"query": name, "result": result}
+        self.requests_rejected += 1
+        return 404, {"error": f"no route {path!r} (try /health, /stats, /query/<name>)"}
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+}
+
+
+async def serve_world(world, host="127.0.0.1", port=0, skew=0.0, batch=256, pace=0.0):
+    """Build engine + replay for ``world``, serve until SIGTERM/SIGINT.
+
+    Prints the ``{"serving": ...}`` discovery line on start and the
+    ``{"drained": ...}`` summary on exit; returns 0 (the CLI exit code).
+    """
+    from repro.stream.ingest import StreamEngine
+    from repro.stream.replay import replay_plan, replay_records
+
+    plan = replay_plan(world)
+    engine = StreamEngine.for_world(world, plan=plan, skew=skew)
+    service = StreamService(
+        engine, replay_records(world), host=host, port=port, batch=batch, pace=pace
+    )
+    await service.start()
+    print(json.dumps({"serving": {**service.describe(), "plan": plan["expected"]}}), flush=True)
+    await service.serve_until_shutdown()
+    print(json.dumps({"drained": service.drain_summary()}), flush=True)
+    return 0

@@ -1,0 +1,230 @@
+"""Bounded-memory stream summaries: count-min and space-saving top-K.
+
+Both structures follow the AMON playbook: heavy-hitter state that fits in
+a few kilobytes regardless of stream length, with *declared* error bounds
+the conformance harness can check against batch ground truth —
+
+* :class:`CountMinSketch` over-estimates only: for any key,
+  ``true <= estimate <= true + epsilon * total_weight`` with probability
+  ``1 - delta`` (Cormode & Muthukrishnan's bound, ``width = ceil(e/eps)``,
+  ``depth = ceil(ln(1/delta))``);
+* :class:`SpaceSavingTopK` tracks at most ``capacity`` keys and reports a
+  per-key over-estimate ``error``; any key whose true weight exceeds
+  ``total_weight / capacity`` is guaranteed to be tracked.
+
+Both merge: ``merge(a, b)`` is commutative and keeps the bounds additive
+(the property tests in ``tests/test_stream_properties.py`` pin this).
+Hashing is deterministic (BLAKE2b with a per-row salt) so two engines fed
+the same stream agree byte-for-byte — the same determinism contract the
+batch pipeline holds at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+
+__all__ = ["CountMinSketch", "SpaceSavingTopK"]
+
+_KEY_PACK = struct.Struct(">q")
+
+
+def _hash_row(key, salt):
+    """Deterministic 64-bit hash of an int key under one row's salt."""
+    digest = hashlib.blake2b(
+        _KEY_PACK.pack(int(key)), digest_size=8, salt=salt
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class CountMinSketch:
+    """A count-min sketch over integer keys with numeric weights.
+
+    ``estimate(key)`` never under-counts; the over-count is bounded by
+    ``epsilon * total_weight`` with probability ``1 - delta``.  Weights
+    may be ints (exact totals) or floats (byte volumes).
+    """
+
+    __slots__ = ("epsilon", "delta", "width", "depth", "rows", "total", "_salts")
+
+    def __init__(self, epsilon=0.005, delta=0.01):
+        if not 0.0 < epsilon < 1.0 or not 0.0 < delta < 1.0:
+            raise ValueError("epsilon and delta must be in (0, 1)")
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.width = max(1, math.ceil(math.e / epsilon))
+        self.depth = max(1, math.ceil(math.log(1.0 / delta)))
+        self.rows = [[0] * self.width for _ in range(self.depth)]
+        self.total = 0
+        self._salts = [b"cms-row-%02d" % d for d in range(self.depth)]
+
+    def _cells(self, key):
+        for d in range(self.depth):
+            yield d, _hash_row(key, self._salts[d]) % self.width
+
+    def add(self, key, weight=1):
+        if weight < 0:
+            raise ValueError("count-min supports non-negative weights only")
+        for d, c in self._cells(key):
+            self.rows[d][c] += weight
+        self.total += weight
+
+    def estimate(self, key):
+        return min(self.rows[d][c] for d, c in self._cells(key))
+
+    def error_bound(self):
+        """The declared additive over-count ceiling at the current total."""
+        return self.epsilon * self.total
+
+    def compatible_with(self, other):
+        return (
+            isinstance(other, CountMinSketch)
+            and self.width == other.width
+            and self.depth == other.depth
+        )
+
+    def merge(self, other):
+        """A new sketch summarizing both streams (commutative; bounds add
+        because totals add and cells add)."""
+        if not self.compatible_with(other):
+            raise ValueError("cannot merge count-min sketches of different geometry")
+        out = CountMinSketch(self.epsilon, self.delta)
+        out.rows = [
+            [a + b for a, b in zip(row_a, row_b)]
+            for row_a, row_b in zip(self.rows, other.rows)
+        ]
+        out.total = self.total + other.total
+        return out
+
+    def __eq__(self, other):
+        return (
+            self.compatible_with(other)
+            and self.total == other.total
+            and self.rows == other.rows
+        )
+
+    def as_dict(self):
+        return {
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "width": self.width,
+            "depth": self.depth,
+            "total": self.total,
+            "error_bound": self.error_bound(),
+        }
+
+
+class SpaceSavingTopK:
+    """Metwally et al.'s space-saving heavy hitters over integer keys.
+
+    At most ``capacity`` keys are tracked; each carries ``(count, error)``
+    where ``count`` over-estimates the true weight by at most ``error``.
+    Any key with true weight above ``total / capacity`` is guaranteed
+    present.  Eviction and reporting tie-break deterministically on
+    ``(count, -key)`` so equal streams produce equal summaries.
+    """
+
+    __slots__ = ("capacity", "counters", "errors", "total")
+
+    def __init__(self, capacity=64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.counters = {}
+        self.errors = {}
+        self.total = 0
+
+    def _weakest(self):
+        """The tracked key cheapest to evict (deterministic tie-break)."""
+        return min(self.counters, key=lambda k: (self.counters[k], -k))
+
+    def add(self, key, weight=1):
+        if weight < 0:
+            raise ValueError("space-saving supports non-negative weights only")
+        key = int(key)
+        self.total += weight
+        if key in self.counters:
+            self.counters[key] += weight
+            return
+        if len(self.counters) < self.capacity:
+            self.counters[key] = weight
+            self.errors[key] = 0
+            return
+        victim = self._weakest()
+        floor = self.counters.pop(victim)
+        self.errors.pop(victim)
+        # The newcomer inherits the evicted counter as its over-estimate.
+        self.counters[key] = floor + weight
+        self.errors[key] = floor
+
+    def top(self, n=None):
+        """``[(key, count, error)]`` descending by count (ties: lower key
+        first, so output is deterministic)."""
+        ranked = sorted(self.counters, key=lambda k: (-self.counters[k], k))
+        if n is not None:
+            ranked = ranked[:n]
+        return [(k, self.counters[k], self.errors[k]) for k in ranked]
+
+    def guarantee_threshold(self):
+        """True weight above this is guaranteed to be tracked."""
+        return self.total / self.capacity
+
+    def merge(self, other):
+        """A new summary of both streams (commutative by construction).
+
+        Keys present in one side only inherit the other side's weakest
+        counter as extra over-estimate — the standard space-saving merge —
+        then the union is trimmed back to ``capacity`` deterministically.
+        """
+        if not isinstance(other, SpaceSavingTopK) or self.capacity != other.capacity:
+            raise ValueError("cannot merge space-saving summaries of different capacity")
+
+        def floor_of(summary):
+            if len(summary.counters) < summary.capacity:
+                return 0
+            return min(summary.counters.values())
+
+        floor_a, floor_b = floor_of(self), floor_of(other)
+        out = SpaceSavingTopK(self.capacity)
+        out.total = self.total + other.total
+        merged_counts, merged_errors = {}, {}
+        for key in set(self.counters) | set(other.counters):
+            count = error = 0
+            if key in self.counters:
+                count += self.counters[key]
+                error += self.errors[key]
+            else:
+                count += floor_a
+                error += floor_a
+            if key in other.counters:
+                count += other.counters[key]
+                error += other.errors[key]
+            else:
+                count += floor_b
+                error += floor_b
+            merged_counts[key] = count
+            merged_errors[key] = error
+        keep = sorted(merged_counts, key=lambda k: (-merged_counts[k], k))[: self.capacity]
+        out.counters = {k: merged_counts[k] for k in keep}
+        out.errors = {k: merged_errors[k] for k in keep}
+        return out
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SpaceSavingTopK)
+            and self.capacity == other.capacity
+            and self.total == other.total
+            and self.counters == other.counters
+            and self.errors == other.errors
+        )
+
+    def as_dict(self, n=None):
+        return {
+            "capacity": self.capacity,
+            "total": self.total,
+            "guarantee_threshold": self.guarantee_threshold(),
+            "entries": [
+                {"key": k, "count": c, "error": e} for k, c, e in self.top(n)
+            ],
+        }

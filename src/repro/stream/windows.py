@@ -1,0 +1,193 @@
+"""Tumbling sim-time windows with watermark-based late-record accounting.
+
+The engine's memory contract is per-window, not per-stream: exact state
+(sets, counters, per-window parse stats) lives only while a window is
+*open*; once the watermark passes a window's end the window is finalized
+into a small summary dict and its exact state is freed.  Cross-window
+heavy-hitter questions are answered by the sketches, never by keeping
+every window's raw state.
+
+Accounting mirrors the :class:`~repro.analysis.monlist_parse.ParseStats`
+discipline: a record is never silently skipped.  Every offered record
+lands in exactly one of four ledgers — ``applied``, ``late`` (its window
+already closed under the watermark), ``duplicate`` (same uid seen in the
+same open window), or ``early_buffered`` is deliberately *not* a state
+(tumbling windows accept any future time; there is no out-of-range) —
+and ``total == applied + late + duplicate`` is an engine invariant the
+tests and the conformance harness both assert.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["TumblingWindows", "WindowSet"]
+
+
+class TumblingWindows:
+    """Pure window arithmetic: fixed ``width``, aligned to ``origin``."""
+
+    __slots__ = ("width", "origin")
+
+    def __init__(self, width, origin=0.0):
+        if not width > 0:
+            raise ValueError("window width must be positive")
+        self.width = float(width)
+        self.origin = float(origin)
+
+    def index_of(self, t):
+        """The window index holding event time ``t`` (floor semantics).
+
+        The division is self-correcting: when ``t`` sits within one ulp
+        of a boundary the float quotient can round across it, so the
+        result is nudged until ``lo <= t < hi`` actually holds — the
+        containment property the window tests pin exactly.
+        """
+        t = float(t)
+        index = math.floor((t - self.origin) / self.width)
+        lo, hi = self.bounds(index)
+        if t < lo:
+            index -= 1
+        elif t >= hi:
+            index += 1
+        return index
+
+    def bounds(self, index):
+        """``[lo, hi)`` of window ``index``.
+
+        ``hi`` is computed as the *next* window's ``lo`` (not ``lo +
+        width``), so adjacent windows tile the line exactly under float
+        rounding — no time can fall between or inside two windows.
+        """
+        return (
+            self.origin + index * self.width,
+            self.origin + (index + 1) * self.width,
+        )
+
+    def contains(self, index, t):
+        lo, hi = self.bounds(index)
+        return lo <= t < hi
+
+
+class _OpenWindow:
+    __slots__ = ("state", "seen", "records")
+
+    def __init__(self, state):
+        self.state = state
+        self.seen = set()
+        self.records = 0
+
+
+class WindowSet:
+    """Windowed state for one record kind, driven by a shared watermark.
+
+    ``state_factory()`` builds a fresh per-window mutable state;
+    ``finalize(index, lo, hi, state, records)`` condenses it into the
+    summary dict retained after close.  ``offer`` returns the open
+    window's state when the record should be applied, or ``None`` when it
+    was accounted as late/duplicate instead.
+    """
+
+    __slots__ = ("windows", "_factory", "_finalize", "_on_close", "open", "closed", "total", "applied", "late", "duplicate", "late_uids")
+
+    #: How many late-record uids to retain verbatim for forensics (the
+    #: counters are complete either way).
+    LATE_UID_KEEP = 32
+
+    def __init__(self, width, origin=0.0, state_factory=dict, finalize=None, on_close=None):
+        self.windows = TumblingWindows(width, origin=origin)
+        self._factory = state_factory
+        # finalize must be PURE: summaries() also runs it on still-open
+        # windows for mid-window reads.  Side effects that must happen
+        # exactly once per window belong in on_close.
+        self._finalize = finalize or (lambda index, lo, hi, state, records: dict(state))
+        self._on_close = on_close
+        self.open = {}
+        self.closed = {}
+        self.total = 0
+        self.applied = 0
+        self.late = 0
+        self.duplicate = 0
+        self.late_uids = []
+
+    # -- ingest ------------------------------------------------------------
+
+    def offer(self, t, uid, watermark):
+        """Account one record; return its window state iff it applies."""
+        self.total += 1
+        index = self.windows.index_of(t)
+        if index in self.closed:
+            self.late += 1
+            if len(self.late_uids) < self.LATE_UID_KEEP:
+                self.late_uids.append(uid)
+            return None
+        window = self.open.get(index)
+        if window is None:
+            window = _OpenWindow(self._factory())
+            self.open[index] = window
+        if uid is not None:
+            if uid in window.seen:
+                self.duplicate += 1
+                return None
+            window.seen.add(uid)
+        window.records += 1
+        self.applied += 1
+        return window.state
+
+    def advance(self, watermark):
+        """Close every open window whose end the watermark has passed."""
+        for index in sorted(self.open):
+            lo, hi = self.windows.bounds(index)
+            if watermark < hi:
+                continue
+            self._close(index, lo, hi)
+
+    def close_all(self):
+        """End of stream: finalize everything still open."""
+        for index in sorted(self.open):
+            lo, hi = self.windows.bounds(index)
+            self._close(index, lo, hi)
+
+    def _close(self, index, lo, hi):
+        window = self.open.pop(index)
+        if self._on_close is not None:
+            self._on_close(window.state)
+        self.closed[index] = self._finalize(index, lo, hi, window.state, window.records)
+
+    # -- views -------------------------------------------------------------
+
+    def summaries(self, include_open=True):
+        """``[(index, lo, hi, summary, is_open)]`` ascending by window.
+
+        Open windows are summarized through the same ``finalize`` hook on
+        a *copy*-free read — the mid-window answer the service serves —
+        without mutating or closing them.
+        """
+        out = []
+        for index in sorted(self.closed):
+            lo, hi = self.windows.bounds(index)
+            out.append((index, lo, hi, self.closed[index], False))
+        if include_open:
+            for index in sorted(self.open):
+                lo, hi = self.windows.bounds(index)
+                window = self.open[index]
+                out.append(
+                    (index, lo, hi, self._finalize(index, lo, hi, window.state, window.records), True)
+                )
+        return out
+
+    def accounting(self):
+        return {
+            "total": self.total,
+            "applied": self.applied,
+            "late": self.late,
+            "duplicate": self.duplicate,
+            "open_windows": len(self.open),
+            "closed_windows": len(self.closed),
+            "late_uids": list(self.late_uids),
+        }
+
+    @property
+    def balanced(self):
+        """The no-record-unaccounted invariant."""
+        return self.total == self.applied + self.late + self.duplicate

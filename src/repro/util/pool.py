@@ -51,7 +51,13 @@ import signal
 import threading
 import time
 
-__all__ = ["available_cpus", "fork_pool_gate", "ShardRunner", "summarize_shard_stats"]
+__all__ = [
+    "available_cpus",
+    "fork_pool_gate",
+    "pool_provenance",
+    "ShardRunner",
+    "summarize_shard_stats",
+]
 
 
 def available_cpus():
@@ -100,6 +106,24 @@ def fork_pool_gate(jobs, n_tasks, min_tasks=2, cpus=None, phase=None):
     except ValueError:
         return veto("fork start method unavailable on this platform")
     return True, None
+
+
+def pool_provenance():
+    """The execution-environment facts every BENCH record should carry.
+
+    One shared helper so ``cpu_count`` and fork availability are reported
+    identically across BENCH_build / BENCH_verify / BENCH_serve — the
+    same never-disagree rule :func:`fork_pool_gate` applies to its own
+    engagement decision.
+    """
+    import multiprocessing
+
+    try:
+        multiprocessing.get_context("fork")
+        fork_available = True
+    except ValueError:
+        fork_available = False
+    return {"cpu_count": available_cpus(), "fork_available": fork_available}
 
 
 def _percentile(ordered, q):

@@ -512,6 +512,194 @@ def check_world_clean_pristine(record, tolerance):
     return _result(measured={"injected_total": report.injected_total}, violations=violations)
 
 
+@invariant(
+    "world.streaming_matches_batch",
+    scope="world",
+    description=(
+        "End-of-window streaming aggregates equal the batch answers: exact "
+        "windowed counts, sketch top-K within declared error bounds, replay "
+        "fully accounted"
+    ),
+    paper_anchor="AMON follow-on architecture (online views agree with batch)",
+    isp_bytes_rel_tol=1e-9,
+)
+def check_world_streaming_matches_batch(record, tolerance):
+    from repro.analysis import queries
+    from repro.stream import StreamEngine, replay_plan, replay_records
+
+    world = record.world
+    plan = replay_plan(world)
+    engine = StreamEngine.for_world(world, plan=plan)
+    engine.ingest_many(replay_records(world))
+    engine.close()
+    violations = []
+
+    # 1. Replay accounting: the adapter emits in-order and deduplicated,
+    # so *every* record must land applied — late/duplicate would mean the
+    # engine dropped data the ledger cannot explain.
+    ingest = engine.query_ingest()
+    if not engine.balanced:
+        violations.append("ingest ledger unbalanced (total != applied + late + duplicate)")
+    for kind, acc in ingest["kinds"].items():
+        if acc["late"] or acc["duplicate"]:
+            violations.append(
+                f"in-order replay produced {acc['late']} late / "
+                f"{acc['duplicate']} duplicate {kind} records"
+            )
+        if acc["total"] != plan["expected"][kind]:
+            violations.append(
+                f"{kind}: replay delivered {acc['total']} records, "
+                f"plan expected {plan['expected'][kind]}"
+            )
+
+    # 2. Weekly capture windows: every count the batch victimology and
+    # parse layer produce, integer for integer.
+    exact_keys = (
+        "captures",
+        "amplifiers",
+        "victim_pairs",
+        "unique_victims",
+        "victim_packets",
+        "scanner_entries",
+        "non_victim_entries",
+        "median_view_hours",
+    )
+    stream_rows = {r["window"]: r for r in engine.query("victims")["windows"]}
+    window_of = engine.windows["capture"].windows.index_of
+    for i, batch_row in enumerate(queries.capture_window_answers(record.ctx)):
+        stream_row = stream_rows.pop(window_of(batch_row["t"]), None)
+        if stream_row is None:
+            # An outage week delivers zero capture records, so no window
+            # opens; the batch sample must be empty too.
+            if batch_row["captures"]:
+                violations.append(
+                    f"sample {i} (t={batch_row['t']:.0f}): no streaming window "
+                    f"for {batch_row['captures']} captures"
+                )
+            continue
+        for key in exact_keys:
+            if stream_row[key] != batch_row[key]:
+                violations.append(
+                    f"sample {i} {key}: streaming {stream_row[key]} "
+                    f"!= batch {batch_row[key]}"
+                )
+        if stream_row["stats"] != batch_row["stats"]:
+            diffs = [
+                k for k, v in batch_row["stats"].items()
+                if stream_row["stats"].get(k) != v
+            ]
+            violations.append(f"sample {i} parse stats differ on {diffs}")
+    for index, stream_row in stream_rows.items():
+        violations.append(
+            f"streaming window {index} ({stream_row['captures']} captures) "
+            "matches no batch sample"
+        )
+
+    # 3. Fault-drift reconciliation: the stream-global ParseStats must
+    # equal the quality report's corpus stats — which
+    # world.quality_reconciles ties back to the injection log, so every
+    # fault-induced loss the stream saw is the same loss the log explains.
+    quality_stats = record.quality().monlist_stats
+    for name, value in engine.query_parse_stats().items():
+        expected = getattr(quality_stats, name)
+        if value != expected:
+            violations.append(
+                f"stream-global {name}={value} != quality report {expected}"
+            )
+
+    # 4. Daily flow windows: darknet scanner counts and Arbor fractions
+    # exactly, ISP byte sums within float tolerance (same addends, a
+    # different summation order).
+    batch_scanners = {int(d): c for d, c in queries.daily_scanner_counts(world).items()}
+    stream_scanners = {
+        r["window"]: r["scanners"] for r in engine.query("scanners")["windows"]
+    }
+    if stream_scanners != batch_scanners:
+        diff_days = {
+            d for d in set(batch_scanners) | set(stream_scanners)
+            if batch_scanners.get(d) != stream_scanners.get(d)
+        }
+        violations.append(f"darknet daily scanner counts differ on days {sorted(diff_days)[:5]}")
+    batch_traffic = queries.daily_traffic_answers(world)
+    stream_traffic = {
+        r["window"]: (r["ntp_frac"], r["dns_frac"])
+        for r in engine.query("traffic")["windows"]
+    }
+    if stream_traffic != batch_traffic:
+        violations.append("daily traffic fractions differ from batch")
+    rel_tol = tolerance["isp_bytes_rel_tol"]
+    batch_isp = queries.isp_day_answers(world)
+    stream_isp = {i: s for i, _lo, _hi, s, _open in engine.windows["isp"].summaries()}
+    if set(batch_isp) != set(stream_isp):
+        violations.append(
+            f"ISP day coverage differs: batch {len(batch_isp)} days, "
+            f"streaming {len(stream_isp)}"
+        )
+    for day in set(batch_isp) & set(stream_isp):
+        b, s = batch_isp[day], stream_isp[day]
+        if s["cells"] != b["cells"] or s["victims"] != b["victims"]:
+            violations.append(f"ISP day {day} cell/victim counts differ")
+        elif abs(s["bytes"] - b["bytes"]) > rel_tol * max(1.0, abs(b["bytes"])):
+            violations.append(f"ISP day {day} bytes drift beyond {rel_tol:g} relative")
+
+    # 5. Sketches vs ground truth, against their *declared* bounds: the
+    # count-min estimate never under-counts and over-counts by at most
+    # eps * total; space-saving guarantees every key heavier than
+    # total/capacity a slot, with count in [true, true + error].
+    truth_by_sketch = {
+        "victim_packets": queries.victim_packet_totals(record.ctx),
+        "as_packets": queries.victim_as_packet_totals(record.ctx),
+        "amplifier_entries": queries.amplifier_entry_totals(record.ctx),
+        "isp_victim_bytes": queries.isp_victim_byte_totals(world),
+    }
+    for sketch_name, truth in truth_by_sketch.items():
+        exact = sketch_name != "isp_victim_bytes"
+        slack = 0 if exact else rel_tol * max(1.0, sum(map(abs, truth.values())))
+        cm = engine.sketches[sketch_name]["cm"]
+        total_true = sum(truth.values())
+        if abs(cm.total - total_true) > slack:
+            violations.append(
+                f"{sketch_name}: count-min total {cm.total} != batch {total_true}"
+            )
+        bound = cm.error_bound()
+        cm_bad = sum(
+            1 for key, true in truth.items()
+            if not (true - slack <= cm.estimate(key) <= true + bound + slack)
+        )
+        if cm_bad:
+            violations.append(
+                f"{sketch_name}: {cm_bad} keys outside the count-min bound"
+            )
+        topk = engine.sketches[sketch_name]["topk"]
+        threshold = topk.guarantee_threshold()
+        for key, true in truth.items():
+            if true <= threshold + slack:
+                continue
+            if key not in topk.counters:
+                violations.append(
+                    f"{sketch_name}: heavy hitter {key} "
+                    f"(true {true} > threshold {threshold:.1f}) not tracked"
+                )
+                continue
+            count, error = topk.counters[key], topk.errors[key]
+            if not (true - slack <= count <= true + error + slack):
+                violations.append(
+                    f"{sketch_name}: tracked key {key} count {count} outside "
+                    f"[{true}, {true} + {error}]"
+                )
+
+    return _result(
+        measured={
+            "records": engine.records_seen,
+            "capture_windows": len(engine.windows["capture"].closed),
+            "victim_pairs": engine.totals["victim_pairs"],
+            "cm_error_bound_victims": engine.sketches["victim_packets"]["cm"].error_bound(),
+            "topk_threshold_victims": engine.sketches["victim_packets"]["topk"].guarantee_threshold(),
+        },
+        violations=violations,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Fault-overlay soundness (metamorphic: degrade the apparatus)
 # ---------------------------------------------------------------------------

@@ -40,6 +40,11 @@ __all__ = [
     "build_packets",
     "capture_of",
     "BASE_PACKET_SETS",
+    "sketch_streams",
+    "stream_events",
+    "record_streams",
+    "window_widths",
+    "bounded_skews",
 ]
 
 # -- network primitives --------------------------------------------------------
@@ -168,3 +173,74 @@ shard_partitions = st.tuples(
     st.integers(min_value=0, max_value=100_000),
     st.integers(min_value=1, max_value=64),
 )
+
+# -- streaming-analysis domains ------------------------------------------------
+
+#: (key, weight) streams for sketch properties; small key space so
+#: collisions, evictions, and heavy hitters all occur.
+sketch_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=1000),
+    ),
+    min_size=0,
+    max_size=300,
+)
+
+#: Tumbling-window widths in the range the engine uses (an hour to a week).
+window_widths = st.floats(min_value=3600.0, max_value=7 * DAY, allow_nan=False)
+
+#: Watermark skews from strictly-in-order up to a full day of tolerated lag.
+bounded_skews = st.floats(min_value=0.0, max_value=DAY, allow_nan=False)
+
+#: One synthetic stream event: (event time, kind, payload key).  Kinds
+#: mirror the replay adapter's interleaving of capture and flow records.
+stream_events = st.tuples(
+    st.floats(min_value=0.0, max_value=30 * DAY, allow_nan=False),
+    st.sampled_from(["capture", "darknet", "isp"]),
+    st.integers(min_value=0, max_value=50),
+)
+
+
+@st.composite
+def record_streams(draw, max_events=120):
+    """Sim-time-ordered event streams with bounded out-of-order arrival
+    and duplicate deliveries.
+
+    Returns ``(events, skew)`` where ``events`` is a list of
+    ``(t, kind, key, uid)`` tuples in *arrival* order: the underlying
+    stream is time-sorted, each arrival is then displaced backward by at
+    most ``skew`` seconds (so a watermark lagging the stream head by
+    ``skew`` never mistakes an in-flight record for a late one... unless
+    it is genuinely late, which the generator also produces), and some
+    records are delivered twice with the same uid.
+    """
+    events = sorted(
+        draw(st.lists(stream_events, min_size=0, max_size=max_events)),
+        key=lambda e: e[0],
+    )
+    skew = draw(bounded_skews)
+    arrivals = []
+    for uid, (t, kind, key) in enumerate(events):
+        jitter = draw(
+            st.floats(min_value=0.0, max_value=2.0 * skew + 1.0, allow_nan=False)
+        )
+        # Arrival position is perturbed; event time is not.
+        arrivals.append((t + jitter, (t, kind, key, uid)))
+    arrivals.sort(key=lambda pair: (pair[0], pair[1][3]))
+    ordered = [record for _pos, record in arrivals]
+    # Duplicate deliveries: re-send a few already-delivered records.
+    dup_indexes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max(0, len(ordered) - 1)),
+            min_size=0,
+            max_size=5,
+        )
+    )
+    if ordered:
+        for index in dup_indexes:
+            insert_at = draw(
+                st.integers(min_value=index + 1, max_value=len(ordered))
+            )
+            ordered.insert(insert_at, ordered[index])
+    return ordered, skew

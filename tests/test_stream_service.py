@@ -1,0 +1,218 @@
+"""Service lifecycle: start/query/shutdown, snapshot consistency, 4xx.
+
+Two layers of coverage:
+
+* in-process asyncio tests drive :class:`StreamService` directly —
+  concurrent queries during ingestion must return internally consistent
+  snapshots (no torn reads), malformed queries must come back as 4xx
+  JSON rather than crashing the loop;
+* a subprocess test runs the real ``python -m repro serve`` CLI, queries
+  it over HTTP, sends SIGTERM, and asserts a clean drain (exit 0, the
+  drained summary line, no process left behind) — the no-orphan
+  discipline of ``tests/test_supervision.py`` applied to the server.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.scenario.world import PaperWorld
+from repro.stream import StreamEngine, StreamService, replay_plan, replay_records
+from repro.stream.loadgen import _fetch
+
+SCALE = 0.0002
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return PaperWorld.build(seed=SEED, scale=SCALE)
+
+
+def _service_for(world, **kwargs):
+    plan = replay_plan(world)
+    engine = StreamEngine.for_world(world, plan=plan)
+    # Tiny batches maximize ingest/query interleaving: more chances to
+    # catch a torn read if one were possible.
+    return StreamService(engine, replay_records(world), batch=16, **kwargs), plan
+
+
+# ---------------------------------------------------------------------------
+# In-process: consistency and error handling
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_queries_see_consistent_snapshots(small_world):
+    async def exercise():
+        service, plan = _service_for(small_world)
+        await service.start()
+        host, port = service.host, service.port
+        inconsistencies = []
+
+        async def reader():
+            while not service.ingest_done:
+                status, body = await _fetch(host, port, "/stats")
+                assert status == 200
+                windowed = body["windowed_victim_pairs"]
+                total = body["totals"]["victim_pairs"]
+                if windowed != total:
+                    inconsistencies.append((windowed, total))
+
+        await asyncio.gather(reader(), reader(), reader())
+        assert service.ingest_done
+        # End state: everything ingested, ledger balanced.
+        status, body = await _fetch(host, port, "/query/ingest")
+        assert status == 200
+        assert body["result"]["balanced"] is True
+        assert body["result"]["records_seen"] == plan["expected_total"]
+        service.request_shutdown()
+        await service.stop()
+        return inconsistencies
+
+    assert asyncio.run(exercise()) == []
+
+
+def test_malformed_queries_are_4xx_json_not_crashes(small_world):
+    async def exercise():
+        service, _plan = _service_for(small_world)
+        await service.start()
+        host, port = service.host, service.port
+        cases = [
+            ("/query/nonsense", 400),
+            ("/query/top_victims?n=banana", 400),
+            ("/query/top_victims?n=0", 400),
+            ("/nope", 404),
+            ("/query/", 404),
+        ]
+        results = []
+        for target, expected in cases:
+            status, body = await _fetch(host, port, target)
+            results.append((target, status, expected, body))
+        # A garbage request line must not kill the server either.
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"\r\n")
+        await writer.drain()
+        garbage_reply = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        # POST is rejected, not crashed on.
+        post_status, _ = await _fetch_method(host, port, "POST", "/health")
+        # The service must still answer normally afterwards.
+        status_after, body_after = await _fetch(host, port, "/health")
+        service.request_shutdown()
+        await service.stop()
+        return results, garbage_reply, post_status, status_after, body_after
+
+    results, garbage_reply, post_status, status_after, body_after = asyncio.run(
+        exercise()
+    )
+    for target, status, expected, body in results:
+        assert status == expected, (target, status, body)
+        assert "error" in body, target
+    assert b"400" in garbage_reply.split(b"\r\n", 1)[0]
+    assert post_status == 405
+    assert status_after == 200 and body_after["ok"] is True
+
+
+async def _fetch_method(host, port, method, target):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(f"{method} {target} HTTP/1.0\r\n\r\n".encode())
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split(None, 2)[1]), json.loads(body)
+
+
+def test_queries_after_ingest_completion_match_direct_engine(small_world):
+    async def exercise():
+        service, _plan = _service_for(small_world)
+        await service.start()
+        while not service.ingest_done:
+            await asyncio.sleep(0.01)
+        status, body = await _fetch(service.host, service.port, "/query/victims")
+        service.request_shutdown()
+        await service.stop()
+        return status, body["result"], service.engine
+
+    status, served, engine = asyncio.run(exercise())
+    assert status == 200
+    assert served == json.loads(json.dumps(engine.query("victims")))
+
+
+# ---------------------------------------------------------------------------
+# Subprocess: the real CLI, SIGTERM drain, no orphans
+# ---------------------------------------------------------------------------
+
+
+def _pid_exists(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    return True
+
+
+def test_serve_cli_lifecycle_sigterm_drains_cleanly():
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")])
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--seed",
+            str(SEED),
+            "--scale",
+            str(SCALE),
+            "--quiet",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+    try:
+        serving = json.loads(proc.stdout.readline())["serving"]
+        base = f"http://127.0.0.1:{serving['port']}"
+        with urllib.request.urlopen(base + "/health", timeout=10) as response:
+            health = json.loads(response.read())
+        assert health["ok"] is True
+        with urllib.request.urlopen(
+            base + "/query/top_victims?n=3", timeout=10
+        ) as response:
+            top = json.loads(response.read())
+        assert top["query"] == "top_victims"
+        assert len(top["result"]["entries"]) <= 3
+
+        proc.send_signal(signal.SIGTERM)
+        stdout, _ = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=30)
+
+    assert proc.returncode == 0, stdout
+    drained = json.loads(stdout.strip().splitlines()[-1])["drained"]
+    assert drained["requests_served"] >= 2
+    assert drained["balanced"] is True
+
+    deadline = time.time() + 10
+    while time.time() < deadline:
+        if not _pid_exists(proc.pid):
+            break
+        time.sleep(0.1)
+    assert not _pid_exists(proc.pid), "serve process survived SIGTERM"
