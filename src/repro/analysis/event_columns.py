@@ -54,8 +54,10 @@ __all__ = [
     "SAMPLE_DTYPE",
     "EventColumns",
     "ColumnarSample",
+    "CaptureBatch",
     "columns_for_sample",
     "build_event_columns",
+    "decode_capture_batch",
 ]
 
 #: One row per recovered monitor entry: the v2 on-wire field set packed
@@ -107,14 +109,24 @@ def _gather_ranges(starts, counts):
     """Indices covering ``range(starts[i], starts[i]+counts[i])`` for all i.
 
     The standard repeat/arange gather: turns per-segment (start, count)
-    pairs into one flat index array without a Python loop.
+    pairs into one flat index array without a Python loop.  The index
+    array itself is the dominant memory traffic of the byte-level body
+    gather, so it is built in int32 whenever the addressed range fits —
+    a ~2x throughput win on narrow cores — with a lossless int64
+    fallback for larger stores.
     """
     total = int(counts.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)
     heads = np.zeros(len(counts), dtype=np.int64)
     np.cumsum(counts[:-1], out=heads[1:])
-    return np.repeat(starts - heads, counts) + np.arange(total, dtype=np.int64)
+    base = starts - heads
+    lo = int(base.min())
+    if -(2**31) < lo and int(base.max()) + total < 2**31:
+        return np.repeat(base.astype(np.int32), counts) + np.arange(
+            total, dtype=np.int32
+        )
+    return np.repeat(base, counts) + np.arange(total, dtype=np.int64)
 
 
 def _segment_sum(values, offsets):
@@ -485,35 +497,80 @@ class ColumnarSample:
 # Decoding: PackedCaptures blob -> columns
 
 
-def _columns_for_packed_sample(sample, packed):
-    """Decode one packed sample's captures straight into column rows.
+class CaptureBatch:
+    """Columnar decode of a subset of one :class:`PackedCaptures`.
+
+    One row per capture that yielded a table, in ``cap_idx`` order;
+    ``entries`` is the flat per-entry array indexed by ``entry_start``
+    (prefix sums) and ``entry_counts``.  Produced by
+    :func:`decode_capture_batch`, consumed both by the full-corpus column
+    builder and by the streaming engine's micro-batch flush.
+    """
+
+    __slots__ = (
+        "cap_positions",
+        "amplifier",
+        "entry_size",
+        "entry_counts",
+        "entry_start",
+        "entries",
+        "n_packets_once",
+        "n_repeats",
+        "payload_once",
+        "wire_once",
+    )
+
+    def __init__(self, **fields):
+        for name in self.__slots__:
+            setattr(self, name, fields[name])
+
+
+def decode_capture_batch(packed, cap_idx, stats):
+    """Vectorized fast/lenient decode of captures ``cap_idx`` of ``packed``.
 
     The vectorized header pass applies exactly the checks of
-    :func:`reconstruct_table_fast` to every packet at once; captures that
-    pass are block-copied into the entries array, captures that fail are
-    handed — whole — to :func:`reconstruct_table_lenient`, so
-    ``ParseStats`` advance identically to the object pipeline (the
-    counters are additive, hence order-free).
+    :func:`reconstruct_table_fast` to every selected packet at once;
+    captures that pass are block-copied into the entries array, captures
+    that fail are handed — whole — to :func:`reconstruct_table_lenient`,
+    so ``stats`` advances identically to the object pipeline (the
+    counters are additive, hence order-free).  ``cap_idx`` may be any
+    subset in any order — all gathers run over explicit index arrays with
+    batch-local segment offsets — which is what lets the streaming engine
+    decode whatever landed in one window without re-slicing the store.
     """
-    stats = ParseStats()
-    n_cap = len(packed)
-    pkt_counts = np.asarray(packed.pkt_counts, dtype=np.int64)
-    pkt_offsets = np.asarray(packed.pkt_offsets, dtype=np.int64)
-    lens = np.asarray(packed.pkt_lens, dtype=np.int64)
+    cap_idx = np.asarray(cap_idx, dtype=np.int64)
+    n_cap = len(cap_idx)
+    pkt_counts_all = np.asarray(packed.pkt_counts, dtype=np.int64)
+    pkt_offsets_all = np.asarray(packed.pkt_offsets, dtype=np.int64)
+    lens_all = np.asarray(packed.pkt_lens, dtype=np.int64)
     byte_offsets = np.asarray(packed.byte_offsets, dtype=np.int64)
     payload = packed.payload
-    n_pkt = len(lens)
     n_bytes = int(byte_offsets[-1]) if len(byte_offsets) else 0
+
+    counts = pkt_counts_all[cap_idx]
+    # Batch-local prefix sums: segment i of the gathered packet arrays is
+    # loc_off[i]:loc_off[i+1].
+    loc_off = np.zeros(n_cap + 1, dtype=np.int64)
+    np.cumsum(counts, out=loc_off[1:])
+    n_pkt = int(loc_off[-1])
+    # The repeat/arange gather, spelled so its intermediates are shared:
+    # rep_head and within are exactly the terms the per-packet checks
+    # below need again (fixed numpy-op overhead dominates at this batch
+    # size, so every op fused away is measurable).
+    rep_head = np.repeat(loc_off[:-1], counts)
+    within = np.arange(n_pkt, dtype=np.int64) - rep_head
+    pkt_idx = np.repeat(pkt_offsets_all[cap_idx], counts) + within
+    lens = lens_all[pkt_idx]
 
     # An empty capture fails wholesale in the lenient path (nothing to
     # salvage); account the whole batch without visiting each one.
-    empty = pkt_counts == 0
+    empty = counts == 0
     n_empty = int(empty.sum())
     stats.captures_total += n_empty
     stats.captures_failed += n_empty
 
     if n_cap and n_pkt and n_bytes:
-        starts = byte_offsets[:-1]
+        starts = byte_offsets[:-1][pkt_idx]
         # Header gather, clipped so short packets read in-bounds garbage
         # that ok_len then masks out.
         hdr_idx = np.minimum(
@@ -529,26 +586,33 @@ def _columns_for_packed_sample(sample, packed):
         ok_len = lens >= MODE7_HEADER_SIZE
         resp_ok = (byte0 & 0x87) == 0x87
 
-        first_idx = np.minimum(pkt_offsets[:-1], n_pkt - 1)
+        first_idx = np.minimum(loc_off[:-1], n_pkt - 1)
         cap_impl = impl[first_idx]
         cap_seq0 = seq[first_idx]
         cap_item = size_f[first_idx]
         cap_item_valid = (cap_item == MON_ENTRY_V1_SIZE) | (cap_item == MON_ENTRY_V2_SIZE)
 
-        within = np.arange(n_pkt, dtype=np.int64) - np.repeat(pkt_offsets[:-1], pkt_counts)
+        # One stacked repeat broadcasts all three per-capture header
+        # fields to packet granularity (vs. one repeat per field).
+        rep = np.repeat(np.stack((cap_impl, cap_item, cap_seq0)), counts, axis=1)
+        r_item = rep[1]
         pkt_ok = (
             ok_len
             & resp_ok
-            & (impl == np.repeat(cap_impl, pkt_counts))
-            & (size_f == np.repeat(cap_item, pkt_counts))
-            & (seq == np.repeat(cap_seq0, pkt_counts) + within)
-            & (lens - MODE7_HEADER_SIZE == n_items * np.repeat(cap_item, pkt_counts))
+            & (impl == rep[0])
+            & (size_f == r_item)
+            & (seq == rep[2] + within)
+            & (lens - MODE7_HEADER_SIZE == n_items * r_item)
         )
-        ok_counts = _segment_sum(pkt_ok.astype(np.int64), pkt_offsets)
-        items_per_cap = _segment_sum(n_items, pkt_offsets)
-        payload_per_cap = _segment_sum(lens, pkt_offsets)
-        wire_per_cap = _segment_sum(on_wire_bytes_array(lens), pkt_offsets)
-        regular = (~empty) & cap_item_valid & (ok_counts == pkt_counts)
+        # All four per-capture reductions share one stacked cumsum.
+        stacked = np.stack(
+            (pkt_ok.astype(np.int64), n_items, lens, on_wire_bytes_array(lens))
+        )
+        cs = np.zeros((4, n_pkt + 1), dtype=np.int64)
+        np.cumsum(stacked, axis=1, out=cs[:, 1:])
+        segs = cs[:, loc_off[1:]] - cs[:, loc_off[:-1]]
+        ok_counts, items_per_cap, payload_per_cap, wire_per_cap = segs
+        regular = (~empty) & cap_item_valid & (ok_counts == counts)
     else:
         cap_item = np.zeros(n_cap, dtype=np.int64)
         items_per_cap = np.zeros(n_cap, dtype=np.int64)
@@ -564,14 +628,14 @@ def _columns_for_packed_sample(sample, packed):
     # Irregular captures: the whole capture re-parses through the lenient
     # salvage path, exactly as reconstruct_table_fast bails per capture.
     fallback = {}
-    for i in np.flatnonzero(~empty & ~regular).tolist():
-        table = reconstruct_table_lenient(packed.view(i), stats)
+    for pos in np.flatnonzero(~empty & ~regular).tolist():
+        table = reconstruct_table_lenient(packed.view(int(cap_idx[pos])), stats)
         if table is not None:
-            fallback[i] = table
+            fallback[pos] = table
 
     has_table = regular.copy()
-    for i in fallback:
-        has_table[i] = True
+    for pos in fallback:
+        has_table[pos] = True
     tbl_caps = np.flatnonzero(has_table)
     n_tbl = len(tbl_caps)
 
@@ -579,24 +643,13 @@ def _columns_for_packed_sample(sample, packed):
     tbl_pos[tbl_caps] = np.arange(n_tbl, dtype=np.int64)
     entry_counts = items_per_cap[tbl_caps].copy()
     entry_size_per = cap_item[tbl_caps].copy()
-    for i, table in fallback.items():
-        pos = int(tbl_pos[i])
-        entry_counts[pos] = len(table.entries)
-        entry_size_per[pos] = table.entry_size
+    for pos, table in fallback.items():
+        row = int(tbl_pos[pos])
+        entry_counts[row] = len(table.entries)
+        entry_size_per[row] = table.entry_size
     entry_start = np.zeros(n_tbl + 1, dtype=np.int64)
     np.cumsum(entry_counts, out=entry_start[1:])
     n_entries = int(entry_start[-1])
-
-    tables = np.zeros(n_tbl, dtype=TABLE_DTYPE)
-    if n_tbl:
-        tables["amplifier"] = np.asarray(packed.target_ips, dtype=np.int64)[tbl_caps]
-        tables["entry_size"] = entry_size_per
-        tables["n_packets_once"] = pkt_counts[tbl_caps]
-        tables["n_repeats"] = np.asarray(packed.n_repeats, dtype=np.int64)[tbl_caps]
-        tables["payload_once"] = payload_per_cap[tbl_caps]
-        tables["wire_once"] = wire_per_cap[tbl_caps]
-        tables["entry_start"] = entry_start[:-1]
-        tables["entry_count"] = entry_counts
 
     entries = np.zeros(n_entries, dtype=ENTRY_DTYPE)
     if n_entries:
@@ -609,18 +662,25 @@ def _columns_for_packed_sample(sample, packed):
             if not len(sel_caps):
                 continue
             wire_dtype = monitor_dtype_for(item_size)
-            pkt_idx = _gather_ranges(pkt_offsets[sel_caps], pkt_counts[sel_caps])
-            body_starts = byte_offsets[:-1][pkt_idx] + MODE7_HEADER_SIZE
-            body_lens = lens[pkt_idx] - MODE7_HEADER_SIZE
+            sub_pkt = _gather_ranges(loc_off[sel_caps], counts[sel_caps])
+            body_starts = byte_offsets[:-1][pkt_idx[sub_pkt]] + MODE7_HEADER_SIZE
+            body_lens = lens[sub_pkt] - MODE7_HEADER_SIZE
             blob = np.ascontiguousarray(payload[_gather_ranges(body_starts, body_lens)])
             src = blob.view(wire_dtype)
-            dest = _gather_ranges(entry_start[:-1][tbl_pos[sel_caps]], items_per_cap[sel_caps])
-            for name in wire_dtype.names:
-                entries[name][dest] = src[name]
+            if len(sel_caps) == n_tbl and len(src) == n_entries:
+                # Every table is regular with this item size, so the
+                # destination rows are exactly 0..n_entries in order —
+                # field-copy by slice instead of a fancy scatter.
+                for name in wire_dtype.names:
+                    entries[name][:] = src[name]
+            else:
+                dest = _gather_ranges(entry_start[:-1][tbl_pos[sel_caps]], items_per_cap[sel_caps])
+                for name in wire_dtype.names:
+                    entries[name][dest] = src[name]
         # Fallback tables: convert the salvaged entry objects row by row
         # (rare by construction — only fault-irregular captures land here).
-        for i, table in fallback.items():
-            lo = int(entry_start[int(tbl_pos[i])])
+        for pos, table in fallback.items():
+            lo = int(entry_start[int(tbl_pos[pos])])
             seg = entries[lo : lo + len(table.entries)]
             for j, e in enumerate(table.entries):
                 seg[j] = (
@@ -636,8 +696,40 @@ def _columns_for_packed_sample(sample, packed):
                     e.version,
                 )
 
+    sel = cap_idx[tbl_caps]
+    return CaptureBatch(
+        cap_positions=tbl_caps,
+        amplifier=np.asarray(packed.target_ips, dtype=np.int64)[sel],
+        entry_size=entry_size_per,
+        entry_counts=entry_counts,
+        entry_start=entry_start,
+        entries=entries,
+        n_packets_once=counts[tbl_caps],
+        n_repeats=np.asarray(packed.n_repeats, dtype=np.int64)[sel],
+        payload_once=payload_per_cap[tbl_caps],
+        wire_once=wire_per_cap[tbl_caps],
+    )
+
+
+def _columns_for_packed_sample(sample, packed):
+    """Decode one packed sample's captures straight into column rows."""
+    stats = ParseStats()
+    batch = decode_capture_batch(packed, np.arange(len(packed), dtype=np.int64), stats)
+    n_tbl = len(batch.amplifier)
+
+    tables = np.zeros(n_tbl, dtype=TABLE_DTYPE)
+    if n_tbl:
+        tables["amplifier"] = batch.amplifier
+        tables["entry_size"] = batch.entry_size
+        tables["n_packets_once"] = batch.n_packets_once
+        tables["n_repeats"] = batch.n_repeats
+        tables["payload_once"] = batch.payload_once
+        tables["wire_once"] = batch.wire_once
+        tables["entry_start"] = batch.entry_start[:-1]
+        tables["entry_count"] = batch.entry_counts
+
     samples_arr = _sample_row(sample, stats, n_tbl)
-    return EventColumns(samples_arr, tables, entries)
+    return EventColumns(samples_arr, tables, batch.entries)
 
 
 def _sample_row(sample, stats, n_tables):

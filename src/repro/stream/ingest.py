@@ -15,12 +15,30 @@ values one at a time and maintains, simultaneously:
   ledgers so a reader can check ``sum(windows) == global`` inside a single
   snapshot (the no-torn-reads contract the service tests assert).
 
-Mode-7 captures are decoded with the *same* parser the batch corpus uses
-(:func:`~repro.analysis.monlist_parse.reconstruct_table_fast`, with its
-internal lenient fallback) and classified entry-by-entry with the *same*
-:func:`~repro.analysis.victimology.classify_entry` filter, so end-of-window
-streaming counts equal the batch answers integer for integer; only the
-float-summed byte volumes and the sketches carry declared error bounds.
+Capture decode path
+-------------------
+Mode-7 captures are *buffered* per open window and decoded in columnar
+micro-batches through the same vectorized header-validation + block-decode
+kernel the batch corpus uses (:func:`~repro.analysis.event_columns
+.decode_capture_batch`); captures failing the vectorized checks fall back
+— whole — to :func:`~repro.analysis.monlist_parse.reconstruct_table_lenient`
+exactly as the object path does, so ``ParseStats`` advance counter for
+counter on clean and fault-injected streams alike.  Buffers are flushed
+before any read and before their window closes, and every per-window
+quantity is an order-free aggregate (sets, sums, per-key totals), so
+flush timing is unobservable: answers depend only on the records applied.
+
+Sketch updates are deferred to window close: each open window accumulates
+exact per-key totals (victim packets by IP, by origin AS, amplifier entry
+counts, ISP victim bytes) and folds them into the global sketches in
+sorted-key order when the window closes.  Reads merge the still-open
+windows' exact aggregates on top (:meth:`StreamEngine.sketches_view`), so
+mid-window answers lose nothing — but the sketch add *sequence* becomes a
+deterministic function of the applied records alone, independent of when
+queries arrive and of how the stream is sharded.  That is the property
+the sharded ingest mode's answers-identical-at-any-``--shards`` contract
+rests on.
+
 The streaming path deliberately does not advance the batch parse-once
 ledger — replay is a re-read of the measurement layer, and the engine's
 own ingest accounting (``total == applied + late + duplicate`` per kind)
@@ -30,9 +48,14 @@ is the discipline that replaces it.
 from __future__ import annotations
 
 import dataclasses
+import math
+
+import numpy as np
 
 from repro.analysis.monlist_parse import ParseStats, reconstruct_table_fast
 from repro.analysis.victimology import (
+    _MAX_INTERARRIVAL,
+    _MIN_PACKETS,
     CLASS_NON_VICTIM,
     CLASS_SCANNER,
     classify_entry,
@@ -60,6 +83,33 @@ QUERY_NAMES = (
     "ingest",
 )
 
+#: Sketch names fed by capture windows vs ISP windows; folds happen per
+#: closed window in ascending index order, keys sorted within a window.
+_CAPTURE_SKETCHES = (
+    ("victim_packets", "victim_packets_by_ip"),
+    ("as_packets", "as_packets"),
+    ("amplifier_entries", "amp_entries"),
+)
+
+#: Per-family view sources: which open windows feed which sketch pair
+#: (order fixed — it is also the canonical family enumeration).
+_VIEW_SOURCES = {
+    "victim_packets": ("capture", "victim_packets_by_ip"),
+    "as_packets": ("capture", "as_packets"),
+    "amplifier_entries": ("capture", "amp_entries"),
+    "isp_victim_bytes": ("isp", "victims"),
+}
+
+#: Queries whose answer is a pure function of one source's windows (the
+#: sketch-backed tops carry no watermark or global counters), keyed by
+#: that source for :meth:`StreamEngine.query_version`.
+_QUERY_VERSION_SOURCES = {
+    "top_victims": "capture",
+    "top_amplifiers": "capture",
+    "top_ases": "capture",
+    "top_isp_victims": "isp",
+}
+
 
 def _stats_dict(stats):
     return {name: getattr(stats, name) for name in _STATS_FIELDS}
@@ -68,6 +118,48 @@ def _stats_dict(stats):
 def _add_stats(into, stats):
     for name in _STATS_FIELDS:
         into[name] += getattr(stats, name)
+
+
+def _fold_totals(pair, totals):
+    """Add one window's exact per-key totals into one sketch pair, keys
+    in sorted order (the deterministic fold sequence the sharded
+    reducer replays)."""
+    keys = sorted(totals)
+    weights = [totals[key] for key in keys]
+    pair["cm"].add_many(keys, weights)
+    pair["topk"].add_many(keys, weights)
+
+
+def _fold_capture_aggregates(sketches, state):
+    """Add one capture window's exact per-key totals into the sketches."""
+    for sketch_name, state_key in _CAPTURE_SKETCHES:
+        totals = state[state_key]
+        if totals:
+            _fold_totals(sketches[sketch_name], totals)
+
+
+def _fold_isp_aggregates(sketches, state):
+    """Add one ISP window's exact per-victim byte totals into the sketches."""
+    victims = state["victims"]
+    if victims:
+        _fold_totals(sketches["isp_victim_bytes"], victims)
+
+
+def _new_sketches(topk_capacity, cm_epsilon, cm_delta):
+    """A fresh bank of the engine's four sketch pairs (shared with the
+    sharded reducer, which rebuilds the fold sequence from window state)."""
+    return {
+        name: {
+            "cm": CountMinSketch(cm_epsilon, cm_delta),
+            "topk": SpaceSavingTopK(topk_capacity),
+        }
+        for name in (
+            "victim_packets",
+            "as_packets",
+            "amplifier_entries",
+            "isp_victim_bytes",
+        )
+    }
 
 
 class StreamEngine:
@@ -83,69 +175,79 @@ class StreamEngine:
         topk_capacity=64,
         cm_epsilon=0.005,
         cm_delta=0.01,
+        keep_state=False,
+        fold_on_close=True,
     ):
         if skew < 0:
             raise ValueError("skew must be non-negative")
         self.skew = float(skew)
+        # Sharded block engines set fold_on_close=False: the query-time
+        # reducer replays the close-time folds itself from the retained
+        # window states (in global window order), so per-block folds
+        # would be dead work — and folding per block would change the
+        # sketch add sequence away from the single engine's.
+        self.fold_on_close = bool(fold_on_close)
         self.asn_of = asn_of
         self.onp_ip = onp_ip
         self.max_event_t = None
         self.records_seen = 0
         self.unknown_kinds = 0
+        #: Monotone change counter: bumps on every applied-or-not record
+        #: and on close, so caches (service response cache, sketch view)
+        #: can key on "has anything changed since I computed this".
+        self.generation = 0
+        self.config = {
+            "capture_origin": float(capture_origin),
+            "capture_width": float(capture_width),
+            "skew": self.skew,
+            "topk_capacity": int(topk_capacity),
+            "cm_epsilon": float(cm_epsilon),
+            "cm_delta": float(cm_delta),
+        }
 
         self.windows = {
             "sweep": WindowSet(
                 capture_width,
                 origin=capture_origin,
                 state_factory=self._new_sweep_state,
+                keep_state=keep_state,
             ),
             "capture": WindowSet(
                 capture_width,
                 origin=capture_origin,
                 state_factory=self._new_capture_state,
                 finalize=self._finalize_capture,
-                on_close=self._fold_capture_stats,
+                on_close=self._close_capture_window,
+                keep_state=keep_state,
             ),
             "darknet": WindowSet(
-                float(DAY), state_factory=set, finalize=self._finalize_darknet
+                float(DAY),
+                state_factory=set,
+                finalize=self._finalize_darknet,
+                keep_state=keep_state,
             ),
             "isp": WindowSet(
                 float(DAY),
                 state_factory=self._new_isp_state,
                 finalize=self._finalize_isp,
+                on_close=self._close_isp_window,
+                keep_state=keep_state,
             ),
             "arbor": WindowSet(
                 float(DAY),
                 state_factory=self._new_arbor_state,
                 finalize=self._finalize_arbor,
+                keep_state=keep_state,
             ),
         }
         self._apply = {
             "sweep": self._apply_sweep,
-            "capture": self._apply_capture,
             "darknet": self._apply_darknet,
             "isp": self._apply_isp,
             "arbor": self._apply_arbor,
         }
 
-        self.sketches = {
-            "victim_packets": {
-                "cm": CountMinSketch(cm_epsilon, cm_delta),
-                "topk": SpaceSavingTopK(topk_capacity),
-            },
-            "as_packets": {
-                "cm": CountMinSketch(cm_epsilon, cm_delta),
-                "topk": SpaceSavingTopK(topk_capacity),
-            },
-            "amplifier_entries": {
-                "cm": CountMinSketch(cm_epsilon, cm_delta),
-                "topk": SpaceSavingTopK(topk_capacity),
-            },
-            "isp_victim_bytes": {
-                "cm": CountMinSketch(cm_epsilon, cm_delta),
-                "topk": SpaceSavingTopK(topk_capacity),
-            },
-        }
+        self.sketches = _new_sketches(topk_capacity, cm_epsilon, cm_delta)
 
         # Stream-global exact counters, redundant with the window ledgers
         # on purpose: every snapshot can be cross-checked internally.
@@ -160,10 +262,31 @@ class StreamEngine:
             "non_victim_entries": 0,
             "darknet_memberships": 0,
             "isp_cells": 0,
-            "isp_bytes": 0.0,
             "arbor_days": 0,
             "arbor_gap_days": 0,
         }
+        # The global ISP byte total is *not* a per-record running float:
+        # it accumulates one exactly-rounded math.fsum per window at
+        # close (ascending window order), and reads add the open
+        # windows' fsums on top.  fsum is order-independent, so the
+        # sharded reduction reproduces the identical float by replaying
+        # the same per-window folds — byte-identical answers at any
+        # shard count, where a running += would drift by an ulp.
+        self.isp_bytes_closed = 0.0
+
+        # Capture micro-batch machinery: window indices with undedcoded
+        # buffered captures, the watermark the windows were last advanced
+        # to (skip redundant sweeps), per-IP ASN memo, sketch-view cache.
+        self._dirty = set()
+        self._advanced_to = None
+        self._asn_cache = {}
+        # Per-family sketch-view cache, keyed on the *source* mutation
+        # counters below rather than the global generation: a darknet-
+        # only batch leaves every capture/ISP aggregate untouched, so
+        # top-victims answers between capture bursts reuse the fold.
+        self._view_cache = None
+        self._cap_mut = 0
+        self._isp_mut = 0
 
     @classmethod
     def for_world(cls, world, plan=None, **kwargs):
@@ -197,6 +320,10 @@ class StreamEngine:
             "scanner_entries": 0,
             "non_victim_entries": 0,
             "max_last_seen": [],
+            "victim_packets_by_ip": {},
+            "as_packets": {},
+            "amp_entries": {},
+            "pending": [],
         }
 
     @staticmethod
@@ -215,8 +342,154 @@ class StreamEngine:
         state["coverage"].append(payload["coverage"])
         state["n_captures"] += payload["n_captures"]
 
-    def _apply_capture(self, state, capture):
-        self.totals["captures"] += 1
+    def _apply_darknet(self, state, scanner_ip):
+        state.add(scanner_ip)
+        self.totals["darknet_memberships"] += 1
+
+    def _apply_isp(self, state, payload):
+        ip, volume = payload
+        state["victims"][ip] = state["victims"].get(ip, 0.0) + volume
+        state["cells"] += 1
+        self.totals["isp_cells"] += 1
+        self._isp_mut += 1
+
+    def _apply_arbor(self, state, payload):
+        if payload is None:
+            state["gap"] = True
+            self.totals["arbor_gap_days"] += 1
+            return
+        state["total_bps"], state["ntp_bps"], state["dns_bps"] = payload
+        self.totals["arbor_days"] += 1
+
+    # -- capture micro-batch decode -------------------------------------------
+
+    def _flush_capture_window(self, index):
+        window = self.windows["capture"].open.get(index)
+        if window is None:
+            return
+        pending = window.state["pending"]
+        if pending:
+            window.state["pending"] = []
+            self._decode_pending(window.state, pending)
+
+    def flush(self):
+        """Decode every buffered capture; answers never see a buffer."""
+        if self._dirty:
+            for index in sorted(self._dirty):
+                self._flush_capture_window(index)
+            self._dirty.clear()
+
+    def _decode_pending(self, state, pending):
+        from repro.analysis.event_columns import decode_capture_batch
+
+        self.totals["captures"] += len(pending)
+        groups = []
+        by_store = {}
+        loners = []
+        for capture in pending:
+            store = getattr(capture, "_store", None)
+            pos = getattr(capture, "_index", None)
+            if store is not None and pos is not None:
+                group = by_store.get(id(store))
+                if group is None:
+                    group = []
+                    by_store[id(store)] = group
+                    groups.append((store, group))
+                group.append(pos)
+            else:
+                loners.append(capture)
+        for store, positions in groups:
+            batch = decode_capture_batch(store, positions, state["stats"])
+            self._apply_capture_batch(state, batch)
+        for capture in loners:
+            self._apply_capture_object(state, capture)
+
+    def _apply_capture_batch(self, state, batch):
+        """Fold one decoded columnar batch into the window's aggregates.
+
+        Every update is order-free (set unions, per-key sums, a multiset
+        for the percentile), so batching granularity cannot change any
+        answer; classification masks replicate the victimology columnar
+        kernel — exact float64 operands, hence bit-identical to
+        :func:`classify_entry` per entry.
+        """
+        amps = batch.amplifier.tolist()
+        n_tbl = len(amps)
+        if not n_tbl:
+            return
+        self.totals["tables"] += n_tbl
+        state["amplifiers"].update(amps)
+        counts_tbl = batch.entry_counts
+        amp_totals = state["amp_entries"]
+        for amp, n in zip(amps, counts_tbl.tolist()):
+            if n:
+                amp_totals[amp] = amp_totals.get(amp, 0) + n
+        entries = batch.entries
+        n_entries = len(entries)
+        if not n_entries:
+            return
+        self.totals["entries"] += n_entries
+
+        last = entries["last"].astype(np.int64)
+        nonzero = counts_tbl > 0
+        if nonzero.any():
+            seg_starts = batch.entry_start[:-1][nonzero]
+            state["max_last_seen"].extend(
+                np.maximum.reduceat(last, seg_starts).tolist()
+            )
+
+        addr = entries["addr"].astype(np.int64)
+        count = entries["count"].astype(np.int64)
+        first = entries["first"].astype(np.int64)
+        mode = entries["mode"].astype(np.int64)
+        keep = np.ones(n_entries, dtype=bool) if self.onp_ip is None else addr != self.onp_ip
+        non_victim = keep & (mode < 6)
+        avg = np.zeros(n_entries, dtype=np.float64)
+        multi = count > 1
+        avg[multi] = (first[multi] - last[multi]).astype(np.float64) / (
+            count[multi].astype(np.float64) - 1.0
+        )
+        victim = keep & (mode >= 6) & (count >= _MIN_PACKETS) & (avg <= _MAX_INTERARRIVAL)
+        n_nv = int(non_victim.sum())
+        n_vic = int(victim.sum())
+        n_scan = int(keep.sum()) - n_nv - n_vic
+        state["non_victim_entries"] += n_nv
+        self.totals["non_victim_entries"] += n_nv
+        state["scanner_entries"] += n_scan
+        self.totals["scanner_entries"] += n_scan
+        if not n_vic:
+            return
+        state["victim_pairs"] += n_vic
+        self.totals["victim_pairs"] += n_vic
+        vaddr = addr[victim]
+        vcount = count[victim]
+        packets = int(vcount.sum())
+        state["victim_packets"] += packets
+        self.totals["victim_packets"] += packets
+        uniq, inverse = np.unique(vaddr, return_inverse=True)
+        # float64 bincount is exact here: per-window per-IP sums stay far
+        # below 2**53.
+        sums = np.bincount(inverse, weights=vcount.astype(np.float64))
+        per_ip = state["victim_packets_by_ip"]
+        keys = uniq.tolist()
+        values = sums.astype(np.int64).tolist()
+        for ip, total in zip(keys, values):
+            per_ip[ip] = per_ip.get(ip, 0) + total
+        state["victims"].update(keys)
+        if self.asn_of is not None:
+            per_as = state["as_packets"]
+            cache = self._asn_cache
+            for ip, total in zip(keys, values):
+                asn = cache.get(ip, -1)
+                if asn == -1:
+                    asn = self.asn_of(ip)
+                    cache[ip] = asn
+                if asn is not None:
+                    per_as[asn] = per_as.get(asn, 0) + total
+
+    def _apply_capture_object(self, state, capture):
+        """Per-capture object fallback for captures without a packed store
+        (synthetic test samples); same aggregates, scalar loop."""
         table = reconstruct_table_fast(capture, state["stats"])
         if table is None:
             return
@@ -225,8 +498,7 @@ class StreamEngine:
         state["amplifiers"].add(amp)
         entries = table.entries
         if entries:
-            self.sketches["amplifier_entries"]["cm"].add(amp, len(entries))
-            self.sketches["amplifier_entries"]["topk"].add(amp, len(entries))
+            state["amp_entries"][amp] = state["amp_entries"].get(amp, 0) + len(entries)
         largest = 0
         for entry in entries:
             self.totals["entries"] += 1
@@ -247,43 +519,40 @@ class StreamEngine:
                 state["victim_packets"] += entry.count
                 self.totals["victim_pairs"] += 1
                 self.totals["victim_packets"] += entry.count
-                self.sketches["victim_packets"]["cm"].add(entry.addr, entry.count)
-                self.sketches["victim_packets"]["topk"].add(entry.addr, entry.count)
+                per_ip = state["victim_packets_by_ip"]
+                per_ip[entry.addr] = per_ip.get(entry.addr, 0) + entry.count
                 if self.asn_of is not None:
-                    asn = self.asn_of(entry.addr)
+                    asn = self._asn_cache.get(entry.addr, -1)
+                    if asn == -1:
+                        asn = self.asn_of(entry.addr)
+                        self._asn_cache[entry.addr] = asn
                     if asn is not None:
-                        self.sketches["as_packets"]["cm"].add(asn, entry.count)
-                        self.sketches["as_packets"]["topk"].add(asn, entry.count)
+                        per_as = state["as_packets"]
+                        per_as[asn] = per_as.get(asn, 0) + entry.count
         if entries:
             state["max_last_seen"].append(largest)
 
-    def _apply_darknet(self, state, scanner_ip):
-        state.add(scanner_ip)
-        self.totals["darknet_memberships"] += 1
-
-    def _apply_isp(self, state, payload):
-        ip, volume = payload
-        state["victims"][ip] = state["victims"].get(ip, 0.0) + volume
-        state["cells"] += 1
-        self.totals["isp_cells"] += 1
-        self.totals["isp_bytes"] += volume
-        self.sketches["isp_victim_bytes"]["cm"].add(ip, volume)
-        self.sketches["isp_victim_bytes"]["topk"].add(ip, volume)
-
-    def _apply_arbor(self, state, payload):
-        if payload is None:
-            state["gap"] = True
-            self.totals["arbor_gap_days"] += 1
-            return
-        state["total_bps"], state["ntp_bps"], state["dns_bps"] = payload
-        self.totals["arbor_days"] += 1
-
     # -- finalizers -----------------------------------------------------------
 
-    def _fold_capture_stats(self, state):
-        # Runs exactly once per window, at close; open windows are folded
-        # non-destructively at read time by query_parse_stats.
-        _add_stats(self.global_stats, state["stats"])
+    def _close_capture_window(self, state):
+        # Runs exactly once per window, at close: decode any buffered
+        # captures, fold the window's ParseStats into the stream-global
+        # counters, fold its per-key aggregates into the sketches.  Open
+        # windows are folded non-destructively at read time instead.
+        pending = state["pending"]
+        if pending:
+            state["pending"] = []
+            self._decode_pending(state, pending)
+        if self.fold_on_close:
+            _add_stats(self.global_stats, state["stats"])
+            _fold_capture_aggregates(self.sketches, state)
+        self._cap_mut += 1
+
+    def _close_isp_window(self, state):
+        self.isp_bytes_closed += math.fsum(state["victims"].values())
+        if self.fold_on_close:
+            _fold_isp_aggregates(self.sketches, state)
+        self._isp_mut += 1
 
     def _finalize_capture(self, index, lo, hi, state, records):
         mls = state["max_last_seen"]
@@ -308,7 +577,9 @@ class StreamEngine:
         return {
             "cells": state["cells"],
             "victims": len(state["victims"]),
-            "bytes": sum(state["victims"].values()),
+            # Exactly-rounded, hence independent of dict insertion
+            # order — merged per-block states summarize identically.
+            "bytes": math.fsum(state["victims"].values()),
         }
 
     @staticmethod
@@ -330,39 +601,281 @@ class StreamEngine:
             return None
         return self.max_event_t - self.skew
 
+    def _advance_windows(self, watermark):
+        """Close every window the watermark has passed (buffers flush in
+        the capture on_close hook before finalize reads the state)."""
+        self._advanced_to = watermark
+        for ws in self.windows.values():
+            ws.advance(watermark)
+
     def ingest(self, record):
         """Apply one record; returns True iff it landed in an open window."""
         self.records_seen += 1
-        window_set = self.windows.get(record.kind)
+        self.generation += 1
+        t, kind, uid, payload = record
+        window_set = self.windows.get(kind)
         if window_set is None:
             self.unknown_kinds += 1
             return False
-        if self.max_event_t is None or record.t > self.max_event_t:
-            self.max_event_t = record.t
-        watermark = self.watermark
-        state = window_set.offer(record.t, record.uid, watermark)
+        max_t = self.max_event_t
+        if max_t is None or t > max_t:
+            self.max_event_t = max_t = t
+        watermark = max_t - self.skew
+        index = window_set.windows.index_of(t)
+        state = window_set.offer_at(index, uid, watermark)
         applied = state is not None
         if applied:
-            self._apply[record.kind](state, record.payload)
-        for ws in self.windows.values():
-            ws.advance(watermark)
+            if kind == "capture":
+                state["pending"].append(payload)
+                self._dirty.add(index)
+                self._cap_mut += 1
+            else:
+                self._apply[kind](state, payload)
+        if watermark != self._advanced_to:
+            self._advance_windows(watermark)
         return applied
 
+    def ingest_tagged(self, record, pre_max_t):
+        """Ingest one record of a partitioned substream.
+
+        ``pre_max_t`` is the maximum event time seen *strictly before*
+        this record in the whole (unpartitioned) stream.  Advancing the
+        local watermark to it first reproduces, pointwise, the window
+        closures the single engine performed before offering this record
+        — the keystone of the per-block ledgers summing to the
+        single-engine ledger (see :mod:`repro.stream.partition`).
+        """
+        if pre_max_t is not None and (
+            self.max_event_t is None or pre_max_t > self.max_event_t
+        ):
+            self.max_event_t = pre_max_t
+            watermark = self.watermark
+            if watermark != self._advanced_to:
+                self.generation += 1
+                self._advance_windows(watermark)
+        return self.ingest(record)
+
+    def advance_watermark(self, t):
+        """Barrier sync: act as if an event at time ``t`` was observed
+        (without any record), closing every window it passes."""
+        if t is None:
+            return
+        if self.max_event_t is None or t > self.max_event_t:
+            self.max_event_t = t
+            watermark = self.watermark
+            if watermark != self._advanced_to:
+                self.generation += 1
+                self._advance_windows(watermark)
+
     def ingest_many(self, records):
-        """Drive a whole iterable through :meth:`ingest`; returns the
-        number applied."""
-        applied = 0
-        for record in records:
-            if self.ingest(record):
+        """Drive a whole iterable through the ingest discipline in one
+        hoisted loop; returns the number applied.
+
+        Accounting-identical to per-record :meth:`ingest` (the property
+        tests assert it on adversarial streams): same ledger decisions,
+        same window closes, same aggregates.  Two layers of hoisting:
+
+        * **Run batching** — a maximal run of same-kind darknet or
+          capture records that stays time-sorted inside one already-open
+          window with no duplicate uids is applied with bulk set/list
+          operations.  Such a run is the sorted-replay common case; the
+          per-record discipline cannot observe the difference because
+          every run record lands in that one open window (its end is
+          past every run timestamp, so nothing in the run is late and
+          the window cannot close mid-run), the window aggregates are
+          order-free, and deferring the watermark sweep to the run's
+          end closes exactly the same windows — cross-kind close order
+          is unobservable because each kind folds into disjoint
+          accumulators, while same-kind closes stay in ascending index
+          order either way.
+
+        * **Per-record fallback** — anything irregular (out-of-order
+          timestamps, duplicates, window boundaries, sweep/isp/arbor
+          records, unknown kinds) drops to the inlined equivalent of
+          :meth:`ingest` for that record alone, window-index boundary
+          nudge included, so fault-injected streams take the exact
+          per-record ledger path.
+        """
+        if not isinstance(records, list):
+            records = list(records)
+        windows = self.windows
+        skew = self.skew
+        apply = self._apply
+        dirty = self._dirty
+        totals = self.totals
+        floor = math.floor
+        max_t = self.max_event_t
+        advanced_to = self._advanced_to
+        # kind -> (origin, width, window set, bound offer_at).
+        plans = {
+            kind: (ws.windows.origin, ws.windows.width, ws, ws.offer_at)
+            for kind, ws in windows.items()
+        }
+        seen = applied = unknown = 0
+        i, n = 0, len(records)
+        while i < n:
+            record = records[i]
+            t, kind, uid, payload = record
+            plan = plans.get(kind)
+            if plan is None:
+                unknown += 1
+                seen += 1
+                i += 1
+                continue
+            origin, width, ws, offer_at = plan
+            index = floor((t - origin) / width)
+            if t < origin + index * width:
+                index -= 1
+            elif t >= origin + (index + 1) * width:
+                index += 1
+            # -- bulk path: sorted same-kind run inside one open window --
+            if (kind == "darknet" or kind == "capture") and (
+                max_t is None or t >= max_t
+            ):
+                window = ws.open.get(index)
+                if window is not None:
+                    hi = origin + (index + 1) * width
+                    j = i + 1
+                    t_end = t
+                    while j < n:
+                        r = records[j]
+                        if r[1] != kind:
+                            break
+                        rt = r[0]
+                        if rt < t_end or rt >= hi:
+                            break
+                        t_end = rt
+                        j += 1
+                    if j - i >= 4:
+                        run = records[i:j]
+                        uids = {r[2] for r in run}
+                        wseen = window.seen
+                        # A redelivery inside the run itself (uids
+                        # collapse) must take the per-record duplicate
+                        # path, not ride the bulk apply.
+                        if len(uids) == j - i and wseen.isdisjoint(uids):
+                            count = j - i
+                            wseen.update(uids)
+                            window.records += count
+                            ws.total += count
+                            ws.applied += count
+                            applied += count
+                            seen += count
+                            if kind == "darknet":
+                                window.state.update(r[3] for r in run)
+                                totals["darknet_memberships"] += count
+                            else:
+                                window.state["pending"].extend(r[3] for r in run)
+                                dirty.add(index)
+                                self._cap_mut += 1
+                            max_t = t_end
+                            watermark = t_end - skew
+                            if watermark != advanced_to:
+                                advanced_to = watermark
+                                self.max_event_t = max_t
+                                self._advance_windows(watermark)
+                            i = j
+                            continue
+            # -- per-record fallback ------------------------------------
+            seen += 1
+            i += 1
+            if max_t is None or t > max_t:
+                max_t = t
+            watermark = max_t - skew
+            state = offer_at(index, uid, watermark)
+            if state is not None:
                 applied += 1
+                if kind == "darknet":
+                    state.add(payload)
+                    totals["darknet_memberships"] += 1
+                elif kind == "capture":
+                    state["pending"].append(payload)
+                    dirty.add(index)
+                    self._cap_mut += 1
+                else:
+                    apply[kind](state, payload)
+            if watermark != advanced_to:
+                advanced_to = watermark
+                self.max_event_t = max_t
+                self._advance_windows(watermark)
+        self.max_event_t = max_t
+        self.records_seen += seen
+        self.unknown_kinds += unknown
+        self.generation += seen
         return applied
 
     def close(self):
         """End of stream: finalize every still-open window."""
+        self.flush()
+        self.generation += 1
         for ws in self.windows.values():
             ws.close_all()
+        self._dirty.clear()
 
     # -- queries --------------------------------------------------------------
+
+    def sketches_view(self, names=None):
+        """Effective sketches: the closed-window folds plus every open
+        window's exact aggregates, merged non-destructively.
+
+        ``names`` restricts the answer to the listed families; each
+        family's merged pair is built lazily and cached against its
+        *source* mutation counter — capture applies/closes for the
+        capture-fed families, ISP ones for the byte sketch — so a
+        top-victims query between capture bursts reuses the fold even
+        though darknet records keep the global generation moving, and it
+        never pays the (much larger) amplifier-entries fold.  Per family
+        the fold sequence — open windows ascending, keys sorted within a
+        window — is exactly the one the eager whole-view fold produced,
+        so answers are byte-identical however the families are
+        materialized.
+        """
+        self.flush()
+        cap_open = self.windows["capture"].open
+        isp_open = self.windows["isp"].open
+        if not cap_open and not isp_open:
+            return self.sketches
+        built = self._view_cache
+        if built is None:
+            built = self._view_cache = {}
+        out = {}
+        for name in names if names is not None else _VIEW_SOURCES:
+            source, state_key = _VIEW_SOURCES[name]
+            mut = self._cap_mut if source == "capture" else self._isp_mut
+            cached = built.get(name)
+            if cached is not None and cached[0] == mut:
+                out[name] = cached[1]
+                continue
+            base = self.sketches[name]
+            pair = {"cm": base["cm"].copy(), "topk": base["topk"].copy()}
+            open_map = cap_open if source == "capture" else isp_open
+            for index in sorted(open_map):
+                totals = open_map[index].state[state_key]
+                if totals:
+                    _fold_totals(pair, totals)
+            built[name] = (mut, pair)
+            out[name] = pair
+        return out
+
+    def query_version(self, name):
+        """A hashable token that changes whenever query ``name``'s answer
+        can change.
+
+        The sketch-backed top queries depend on exactly one source's
+        windows, so they key on that source's mutation counter — batches
+        of other kinds (most of a replay is darknet memberships) leave a
+        cached response valid.  Everything else carries the watermark or
+        global accounting and keys on the per-record generation.  Only
+        meaningful on a single engine: the sharded front intentionally
+        lacks this method because its merged engine is rebuilt per
+        generation, which would restart the counters.
+        """
+        source = _QUERY_VERSION_SOURCES.get(name)
+        if source == "capture":
+            return ("c", self._cap_mut)
+        if source == "isp":
+            return ("i", self._isp_mut)
+        return ("g", self.generation)
 
     def query(self, name, **params):
         """Dispatch one named query (the service's surface)."""
@@ -389,6 +902,7 @@ class StreamEngine:
         raise KeyError(f"unknown query {name!r} (have: {', '.join(QUERY_NAMES)})")
 
     def _windows_query(self, kind):
+        self.flush()
         rows = [
             {"window": index, "lo": lo, "hi": hi, "open": is_open, **summary}
             for index, lo, hi, summary, is_open in self.windows[kind].summaries()
@@ -400,8 +914,9 @@ class StreamEngine:
         n = int(n) if n is not None else 10
         if n < 1:
             raise ValueError("n must be >= 1")
-        pair = self.sketches[sketch_name]
+        pair = self.sketches_view((sketch_name,))[sketch_name]
         top = pair["topk"].top(n)
+        estimates = pair["cm"].estimate_many([key for key, _, _ in top])
         return {
             "sketch": sketch_name,
             "guarantee_threshold": pair["topk"].guarantee_threshold(),
@@ -411,21 +926,35 @@ class StreamEngine:
                     "key": key,
                     "count": count,
                     "error": error,
-                    "cm_estimate": pair["cm"].estimate(key),
+                    "cm_estimate": estimate,
                 }
-                for key, count, error in top
+                for (key, count, error), estimate in zip(top, estimates)
             ],
         }
 
     def query_parse_stats(self):
         """Stream-global ParseStats: closed windows' folded counters plus
         the still-open windows, read without closing them."""
+        self.flush()
         out = dict(self.global_stats)
         for window in self.windows["capture"].open.values():
             _add_stats(out, window.state["stats"])
         return out
 
+    def totals_view(self):
+        """The global totals with the ISP byte sum assembled from its
+        per-window fsums: closed-window accumulator plus the still-open
+        windows, in ascending window order."""
+        out = dict(self.totals)
+        isp_bytes = self.isp_bytes_closed
+        isp_open = self.windows["isp"].open
+        for index in sorted(isp_open):
+            isp_bytes += math.fsum(isp_open[index].state["victims"].values())
+        out["isp_bytes"] = isp_bytes
+        return out
+
     def query_ingest(self):
+        self.flush()
         accounting = {kind: ws.accounting() for kind, ws in self.windows.items()}
         return {
             "records_seen": self.records_seen,
@@ -434,7 +963,7 @@ class StreamEngine:
             "skew": self.skew,
             "balanced": self.balanced,
             "kinds": accounting,
-            "totals": dict(self.totals),
+            "totals": self.totals_view(),
         }
 
     @property
@@ -455,6 +984,7 @@ class StreamEngine:
         torn-read check the service tests run against concurrent
         ingestion.
         """
+        self.flush()
         capture_windows = self._windows_query("capture")["windows"]
         return {
             "records_seen": self.records_seen,
@@ -463,11 +993,56 @@ class StreamEngine:
             "windowed_victim_pairs": sum(
                 w["victim_pairs"] for w in capture_windows
             ),
-            "totals": dict(self.totals),
+            "totals": self.totals_view(),
             "parse_stats": self.query_parse_stats(),
             "ingest": self.query_ingest(),
             "sketches": {
                 name: {"cm": pair["cm"].as_dict(), "topk": pair["topk"].as_dict(10)}
-                for name, pair in self.sketches.items()
+                for name, pair in self.sketches_view().items()
             },
         }
+
+    # -- sharded-reduction surface --------------------------------------------
+
+    def export_state(self, skip_closed=None):
+        """Everything the query-time reduction needs from one block.
+
+        ``skip_closed`` maps kind -> index set the reducer has already
+        memoized (their merged summaries are immutable), so those states
+        are neither re-shipped nor re-merged.  Containers are returned by
+        reference; the reducer's merge functions never mutate them, and
+        the fork-pool transport pickles them into copies anyway.
+        """
+        self.flush()
+        kinds = {}
+        for kind, ws in self.windows.items():
+            skip = skip_closed.get(kind) if skip_closed else None
+            states = {}
+            for index, window in ws.open.items():
+                states[index] = ("open", window.state, window.records)
+            for index, (state, records) in ws.closed_states.items():
+                if skip and index in skip:
+                    continue
+                states[index] = ("closed", state, records)
+            kinds[kind] = {
+                "total": ws.total,
+                "applied": ws.applied,
+                "late": ws.late,
+                "duplicate": ws.duplicate,
+                "late_uids": list(ws.late_uids),
+                "states": states,
+            }
+        return {
+            "records_seen": self.records_seen,
+            "unknown_kinds": self.unknown_kinds,
+            "max_event_t": self.max_event_t,
+            "global_stats": dict(self.global_stats),
+            "totals": dict(self.totals),
+            "kinds": kinds,
+        }
+
+    def drop_closed_states(self, kind, indices):
+        """Free retained closed-window states the reducer has memoized."""
+        closed_states = self.windows[kind].closed_states
+        for index in indices:
+            closed_states.pop(index, None)

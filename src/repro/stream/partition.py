@@ -1,0 +1,686 @@
+"""Sharded stream ingestion: fixed logical blocks, query-time reduction.
+
+The stream is partitioned into :data:`STREAM_BLOCKS` **logical
+substreams** by a deterministic per-kind key (captures by amplifier IP —
+the AMON partitioning — darknet by scanner IP, ISP cells by victim IP,
+arbor rows by day, sweeps by their window).  ``--shards N`` only decides
+how many *physical workers* consume those blocks; the answer is always
+the merge of the same sixteen block states folded in fixed block order,
+which is why every query result is byte-identical at any shard count —
+the same fixed-subproblem trick the batch build uses to be identical at
+any ``--jobs``.
+
+Why the merge is exact
+----------------------
+Three properties carry the whole contract:
+
+* **Tagged ingest** — the replay is enumerated once and each record is
+  tagged with the maximum event time *strictly before* it.  A block
+  engine advances its watermark to the tag before offering the record
+  (:meth:`~repro.stream.ingest.StreamEngine.ingest_tagged`), so it
+  accepts/refuses exactly as the single whole-stream engine would at
+  that point.  Per-block ledgers therefore *sum* to the single-engine
+  ledger, record for record.
+* **Mergeable window state** — block engines run ``keep_state=True``:
+  closed windows retain their exact aggregate state (sets, counters,
+  per-key sums), and every aggregate is order-free, so per-block states
+  union/add losslessly into the whole-window state.
+* **Rebuilt sketch folds** — block engines *never* fold window state
+  into sketches (``fold_on_close=False``).  The reducer replays the
+  single engine's exact fold sequence — closed windows ascending, keys
+  sorted within a window — over the *merged* states, so count-min cells
+  and the order-sensitive space-saving top-K come out identical to the
+  single engine's, even when the top-K is saturated.
+
+The reducer memoizes: once every block's watermark has passed a window
+(tracked via barrier/round sync), its merged summary and sketch fold are
+immutable — they move into a persistent base, the per-block states are
+dropped (freeing block memory), and later reductions only merge the
+handful of still-open windows.
+
+Float caveat: per-victim ISP byte totals are bit-exact (each victim
+lives in one block, accumulated in arrival order), and every *derived*
+float — window byte summaries, the global ``isp_bytes`` total — is an
+exactly-rounded ``math.fsum`` folded in window order, so even the float
+answers are byte-identical to the single engine's.  The one divergence
+left is the ``late_uids`` forensic sample: it concatenates per-block
+samples (block order), so on out-of-order streams its *contents* can
+differ from the single engine's first-32 arrival-order sample even
+though the late *count* is identical.
+
+Physical execution
+------------------
+In-process (the default when :func:`~repro.util.pool.fork_pool_gate`
+vetoes, e.g. on a single CPU): sixteen block engines in the serving
+process, records routed synchronously.  Fork mode: ``--shards N``
+resident workers (:class:`~repro.util.pool.ResidentPool`), worker ``w``
+owning blocks ``w::N``.  Each worker re-enumerates the replay from its
+copy-on-write world and filters to its own blocks, so no record payload
+ever crosses a pipe; the parent drives position-bounded rounds and
+ships only per-window states back at query time.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+from repro.stream.ingest import (
+    StreamEngine,
+    _add_stats,
+    _fold_capture_aggregates,
+    _fold_isp_aggregates,
+    _new_sketches,
+    _STATS_FIELDS,
+)
+from repro.stream.windows import TumblingWindows, WindowSet, _OpenWindow
+from repro.util.pool import ResidentPool, available_cpus, fork_pool_gate
+from repro.util.simtime import WEEK
+
+__all__ = ["STREAM_BLOCKS", "BlockRouter", "ShardedStream", "tagged_records"]
+
+#: Number of logical substreams.  Fixed — never a function of
+#: ``--shards`` — so the merged answer is shard-count-invariant by
+#: construction.
+STREAM_BLOCKS = 16
+
+_M64 = (1 << 64) - 1
+
+_KINDS = ("sweep", "capture", "darknet", "isp", "arbor")
+
+
+def _mix64(x):
+    """SplitMix64 finalizer: a stable avalanche over the raw key so block
+    populations balance; pure arithmetic, so (unlike ``hash``) it is
+    independent of ``PYTHONHASHSEED`` and identical across processes."""
+    x &= _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+def _fallback_block(uid):
+    """Stable block for records without a natural key (unknown kinds,
+    synthetic captures): CRC of the uid repr, never ``hash``."""
+    return zlib.crc32(repr(uid).encode("utf-8")) % STREAM_BLOCKS
+
+
+class BlockRouter:
+    """``record -> block`` by the kind's natural partition key."""
+
+    __slots__ = ("_capture_windows",)
+
+    def __init__(self, capture_origin=0.0, capture_width=float(WEEK)):
+        self._capture_windows = TumblingWindows(capture_width, origin=capture_origin)
+
+    def block_of(self, record):
+        kind = record.kind
+        if kind == "capture":
+            # Amplifier IP: all probes of one amplifier land in one
+            # block, so per-amplifier entry totals accumulate in arrival
+            # order exactly as the single engine's do.
+            key = getattr(record.payload, "target_ip", None)
+            if key is None:
+                return _fallback_block(record.uid)
+            return _mix64(int(key)) % STREAM_BLOCKS
+        if kind == "sweep":
+            # By window: a sweep window's coverage list is the only
+            # order-sensitive window state, so it gets one contributor.
+            return self._capture_windows.index_of(record.t) % STREAM_BLOCKS
+        if kind == "darknet":
+            return _mix64(int(record.payload)) % STREAM_BLOCKS
+        if kind == "isp":
+            # Victim IP: per-victim byte totals (floats) accumulate in
+            # arrival order inside exactly one block.
+            return _mix64(int(record.payload[0])) % STREAM_BLOCKS
+        if kind == "arbor":
+            return int(record.uid[1]) % STREAM_BLOCKS
+        return _fallback_block(record.uid)
+
+
+def tagged_records(records):
+    """Yield ``(pos, pre_max_t, record)`` over a replay.
+
+    ``pre_max_t`` is the maximum event time strictly before ``record``
+    in the unpartitioned stream — the tag
+    :meth:`~repro.stream.ingest.StreamEngine.ingest_tagged` needs to
+    reproduce the single engine's watermark pointwise."""
+    pos = 0
+    max_t = None
+    for record in records:
+        yield pos, max_t, record
+        pos += 1
+        t = record.t
+        if max_t is None or t > max_t:
+            max_t = t
+
+
+# -- per-kind state merges ------------------------------------------------
+#
+# Each takes the per-block ``("open"|"closed", state, records)`` parts of
+# one window *in block order* and returns the whole-window ``(state,
+# records)``.  Every operation is a lossless union/sum of disjoint or
+# order-free contributions; block order only matters for float adds and
+# dict insertion order, and block contents are shard-count-invariant.
+
+
+def _merge_sweep(parts):
+    out = StreamEngine._new_sweep_state()
+    records = 0
+    for _src, state, part_records in parts:
+        records += part_records
+        out["sweeps"] += state["sweeps"]
+        out["outages"] += state["outages"]
+        out["coverage"].extend(state["coverage"])
+        out["n_captures"] += state["n_captures"]
+    return out, records
+
+
+def _merge_capture(parts):
+    out = StreamEngine._new_capture_state()
+    records = 0
+    stats = out["stats"]
+    for _src, state, part_records in parts:
+        records += part_records
+        src_stats = state["stats"]
+        for name in _STATS_FIELDS:
+            setattr(stats, name, getattr(stats, name) + getattr(src_stats, name))
+        out["amplifiers"] |= state["amplifiers"]
+        out["victims"] |= state["victims"]
+        for key in (
+            "victim_pairs",
+            "victim_packets",
+            "scanner_entries",
+            "non_victim_entries",
+        ):
+            out[key] += state[key]
+        out["max_last_seen"].extend(state["max_last_seen"])
+        for key in ("victim_packets_by_ip", "as_packets", "amp_entries"):
+            dst = out[key]
+            for k, v in state[key].items():
+                dst[k] = dst.get(k, 0) + v
+    return out, records
+
+
+def _merge_darknet(parts):
+    out = set()
+    records = 0
+    for _src, state, part_records in parts:
+        records += part_records
+        out |= state
+    return out, records
+
+
+def _merge_isp(parts):
+    out = StreamEngine._new_isp_state()
+    records = 0
+    victims = out["victims"]
+    for _src, state, part_records in parts:
+        records += part_records
+        out["cells"] += state["cells"]
+        for ip, volume in state["victims"].items():
+            victims[ip] = victims.get(ip, 0.0) + volume
+    return out, records
+
+
+def _merge_arbor(parts):
+    # Day-keyed routing gives arbor windows a single contributor; the
+    # fold below is still written to tolerate several.
+    out = StreamEngine._new_arbor_state()
+    records = 0
+    for _src, state, part_records in parts:
+        records += part_records
+        if state["total_bps"] is not None:
+            out["total_bps"] = state["total_bps"]
+            out["ntp_bps"] = state["ntp_bps"]
+            out["dns_bps"] = state["dns_bps"]
+        out["gap"] = out["gap"] or state["gap"]
+    return out, records
+
+
+_MERGERS = {
+    "sweep": _merge_sweep,
+    "capture": _merge_capture,
+    "darknet": _merge_darknet,
+    "isp": _merge_isp,
+    "arbor": _merge_arbor,
+}
+
+
+class _ShardWorker:
+    """Resident fork-pool handler owning blocks ``slot::workers``.
+
+    Re-enumerates the replay inside the worker (the world arrived by
+    fork, copy-on-write) and filters to its own blocks, so ingestion
+    ships zero record payloads over the pipe — only small control
+    messages and, at query time, per-window states."""
+
+    def __init__(self, world, workers, slot, site_name, conf, asn_of, onp_ip):
+        from repro.stream.replay import replay_records
+
+        self.router = BlockRouter(conf["capture_origin"], conf["capture_width"])
+        self.engines = {
+            block: StreamEngine(
+                asn_of=asn_of,
+                onp_ip=onp_ip,
+                keep_state=True,
+                fold_on_close=False,
+                **conf,
+            )
+            for block in range(slot, STREAM_BLOCKS, workers)
+        }
+        self._stream = iter(tagged_records(replay_records(world, site_name)))
+        self._pos = 0
+        self._max_t = None
+        self._done = False
+
+    def advance(self, upto, sync_t, drops):
+        """One ingest round: apply memo drops, sync the barrier
+        watermark, consume the replay up to position ``upto``."""
+        for kind, indices in drops.items():
+            for engine in self.engines.values():
+                engine.drop_closed_states(kind, indices)
+        if sync_t is not None:
+            for engine in self.engines.values():
+                engine.advance_watermark(sync_t)
+        engines = self.engines
+        block_of = self.router.block_of
+        while self._pos < upto:
+            step = next(self._stream, None)
+            if step is None:
+                self._done = True
+                break
+            pos, pre_max_t, record = step
+            engine = engines.get(block_of(record))
+            if engine is not None:
+                engine.ingest_tagged(record, pre_max_t)
+            self._pos = pos + 1
+            t = record.t
+            if self._max_t is None or t > self._max_t:
+                self._max_t = t
+        return {"pos": self._pos, "done": self._done, "max_t": self._max_t}
+
+    def export(self, skip):
+        return {
+            block: engine.export_state(skip)
+            for block, engine in self.engines.items()
+        }
+
+    def close(self):
+        for engine in self.engines.values():
+            if self._max_t is not None:
+                engine.advance_watermark(self._max_t)
+            engine.close()
+        return True
+
+
+class ShardedStream:
+    """N-shard ingestion over the sixteen logical blocks, with a
+    query-time reduction that presents the merged
+    :class:`~repro.stream.ingest.StreamEngine` surface."""
+
+    def __init__(
+        self,
+        shards=1,
+        *,
+        capture_origin=0.0,
+        capture_width=float(WEEK),
+        skew=0.0,
+        asn_of=None,
+        onp_ip=None,
+        topk_capacity=64,
+        cm_epsilon=0.005,
+        cm_delta=0.01,
+        pool=None,
+        pool_info=None,
+    ):
+        self.shards = max(1, int(shards))
+        self.skew = float(skew)
+        self._conf = {
+            "capture_origin": float(capture_origin),
+            "capture_width": float(capture_width),
+            "skew": self.skew,
+            "topk_capacity": int(topk_capacity),
+            "cm_epsilon": float(cm_epsilon),
+            "cm_delta": float(cm_delta),
+        }
+        self._asn_of = asn_of
+        self._onp_ip = onp_ip
+        self.router = BlockRouter(capture_origin, capture_width)
+        #: Monotone change counter, same contract as the engine's.
+        self.generation = 0
+        self.records_seen = 0
+        self._max_t = None
+        self._synced_watermark = None
+        self._closed = False
+        self._merged_cache = None
+        # Reduction memo: merged summaries of windows every block's
+        # watermark has passed, plus the persistent base their stats and
+        # sketch folds moved into (always folded in ascending window
+        # order — the single engine's own fold sequence).
+        self._memo = {kind: {} for kind in _KINDS}
+        self._base_sketches = _new_sketches(topk_capacity, cm_epsilon, cm_delta)
+        self._base_stats = {name: 0 for name in _STATS_FIELDS}
+        self._base_isp_bytes = 0.0
+        self._pool = pool
+        self.pool_info = pool_info or {
+            "requested": self.shards,
+            "engaged": False,
+            "reason": "in-process: constructed without a pool",
+            "workers": 0,
+            "blocks": STREAM_BLOCKS,
+            "cpu_count": available_cpus(),
+            "mode": "in-process",
+        }
+        #: True when the workers enumerate the replay themselves and the
+        #: service must drive rounds via :meth:`ingest_step` instead of
+        #: feeding records through :meth:`ingest`.
+        self.drives_ingest = pool is not None
+        if pool is None:
+            self.blocks = [
+                StreamEngine(
+                    asn_of=asn_of,
+                    onp_ip=onp_ip,
+                    keep_state=True,
+                    fold_on_close=False,
+                    **self._conf,
+                )
+                for _ in range(STREAM_BLOCKS)
+            ]
+        else:
+            self.blocks = None
+            self._pending_drops = {}
+            self._done = False
+
+    @classmethod
+    def for_world(
+        cls,
+        world,
+        shards=1,
+        skew=0.0,
+        site_name="merit",
+        cpus=None,
+        force_fork=False,
+        **engine_kwargs,
+    ):
+        """A sharded stream for ``world``'s replay.
+
+        The fork pool engages only when :func:`fork_pool_gate` says it
+        is worth it (``force_fork`` overrides, for tests); otherwise the
+        blocks run in-process and the veto reason is recorded in
+        :attr:`pool_info` — the same engagement-honesty rule the build
+        pools follow."""
+        from repro.attack.scanner import ONP_PROBER_IP
+        from repro.stream.replay import replay_plan
+
+        plan = replay_plan(world, site_name)
+        conf = dict(
+            capture_origin=plan["capture_origin"],
+            capture_width=plan["capture_width"],
+            skew=skew,
+            **engine_kwargs,
+        )
+        asn_of = world.table.asn_of
+        shards = max(1, int(shards))
+        if cpus is None:
+            cpus = available_cpus()
+        if force_fork:
+            engaged, reason = True, None
+        else:
+            engaged, reason = fork_pool_gate(
+                shards, STREAM_BLOCKS, cpus=cpus, phase="serve-shards"
+            )
+        workers = min(shards, STREAM_BLOCKS) if engaged else 0
+        pool = None
+        if engaged:
+            def factory(slot):
+                return _ShardWorker(
+                    world, workers, slot, site_name, conf, asn_of, ONP_PROBER_IP
+                )
+
+            pool = ResidentPool(factory, workers, name="stream-shard")
+        pool_info = {
+            "requested": shards,
+            "engaged": engaged,
+            "reason": reason,
+            "workers": workers,
+            "blocks": STREAM_BLOCKS,
+            "cpu_count": cpus,
+            "mode": "fork" if engaged else "in-process",
+        }
+        return cls(
+            shards=shards,
+            asn_of=asn_of,
+            onp_ip=ONP_PROBER_IP,
+            pool=pool,
+            pool_info=pool_info,
+            **conf,
+        )
+
+    # -- ingest (in-process mode) -----------------------------------------
+
+    def ingest(self, record):
+        """Route one record to its block (tagged with the pre-record
+        global max, so the block's watermark matches the single
+        engine's)."""
+        pre_max_t = self._max_t
+        t = record.t
+        if pre_max_t is None or t > pre_max_t:
+            self._max_t = t
+        self.records_seen += 1
+        self.generation += 1
+        block = self.blocks[self.router.block_of(record)]
+        return block.ingest_tagged(record, pre_max_t)
+
+    def ingest_many(self, records):
+        applied = 0
+        for record in records:
+            if self.ingest(record):
+                applied += 1
+        return applied
+
+    def barrier(self):
+        """Propagate the global watermark to every block (so blocks that
+        saw no recent records still close their windows) and mark the
+        synced frontier the reducer may memoize behind."""
+        if self._pool is not None or self._max_t is None:
+            return
+        for engine in self.blocks:
+            engine.advance_watermark(self._max_t)
+        synced = self._max_t - self.skew
+        if synced != self._synced_watermark:
+            self._synced_watermark = synced
+            self.generation += 1
+
+    # -- ingest (fork mode) ------------------------------------------------
+
+    def ingest_step(self, batch):
+        """Drive one fork-mode round of up to ``batch`` records per
+        worker; returns True when the replay is exhausted."""
+        if self._pool is None:
+            raise RuntimeError("ingest_step is fork-mode only; use ingest()")
+        if self._done:
+            return True
+        sync_t = self._max_t
+        target = self.records_seen + int(batch)
+        acks = self._pool.call_all("advance", target, sync_t, self._pending_drops)
+        self._pending_drops = {}
+        pos = max(ack["pos"] for ack in acks)
+        for ack in acks:
+            t = ack["max_t"]
+            if t is not None and (self._max_t is None or t > self._max_t):
+                self._max_t = t
+        advanced = pos - self.records_seen
+        self.records_seen = pos
+        if sync_t is not None:
+            synced = sync_t - self.skew
+            if self._synced_watermark is None or synced > self._synced_watermark:
+                self._synced_watermark = synced
+                self.generation += 1
+        if advanced:
+            self.generation += advanced
+        if all(ack["done"] for ack in acks):
+            self._done = True
+            return True
+        return False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self):
+        """End of stream: close every block; the next reduction closes
+        the merged windows exactly as the single engine's close would."""
+        if self._closed:
+            return
+        if self._pool is not None:
+            self._pool.call_all("close")
+        else:
+            for engine in self.blocks:
+                if self._max_t is not None:
+                    engine.advance_watermark(self._max_t)
+                engine.close()
+        self._closed = True
+        self.generation += 1
+
+    def shutdown(self):
+        """Tear the fork pool down (bounded, loud); queries must reduce
+        before this — afterwards only cached reductions answer."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # -- reduction -----------------------------------------------------------
+
+    def _exports(self):
+        skip = {kind: set(memo) for kind, memo in self._memo.items() if memo}
+        if self._pool is not None:
+            merged = {}
+            for worker_map in self._pool.call_all("export", skip):
+                merged.update(worker_map)
+            return [merged[block] for block in sorted(merged)]
+        return [engine.export_state(skip) for engine in self.blocks]
+
+    def _note_drop(self, kind, index):
+        if self._pool is not None:
+            self._pending_drops.setdefault(kind, []).append(index)
+        elif self.blocks is not None:
+            for engine in self.blocks:
+                engine.drop_closed_states(kind, (index,))
+
+    def _reduce(self):
+        """Merge the sixteen block states into one read-only engine."""
+        exports = self._exports()
+        engine = StreamEngine(asn_of=self._asn_of, onp_ip=self._onp_ip, **self._conf)
+        engine.records_seen = sum(e["records_seen"] for e in exports)
+        engine.unknown_kinds = sum(e["unknown_kinds"] for e in exports)
+        max_ts = [e["max_event_t"] for e in exports if e["max_event_t"] is not None]
+        engine.max_event_t = max(max_ts) if max_ts else None
+        for key in engine.totals:
+            engine.totals[key] = sum(e["totals"][key] for e in exports)
+        watermark = engine.watermark
+        synced = self._synced_watermark
+        # Start from the memoized base and replay the remaining
+        # close-time folds in window order: the merged fold sequence is
+        # exactly the single engine's.
+        sketches = {
+            name: {"cm": pair["cm"].copy(), "topk": pair["topk"].copy()}
+            for name, pair in self._base_sketches.items()
+        }
+        global_stats = dict(self._base_stats)
+        engine.isp_bytes_closed = self._base_isp_bytes
+        for kind in _KINDS:
+            window_set = engine.windows[kind]
+            counters = [e["kinds"][kind] for e in exports]
+            window_set.total = sum(c["total"] for c in counters)
+            window_set.applied = sum(c["applied"] for c in counters)
+            window_set.late = sum(c["late"] for c in counters)
+            window_set.duplicate = sum(c["duplicate"] for c in counters)
+            late_uids = []
+            for c in counters:
+                late_uids.extend(c["late_uids"])
+            window_set.late_uids = late_uids[: WindowSet.LATE_UID_KEEP]
+            memo = self._memo[kind]
+            window_set.closed.update(memo)
+            per_index = {}
+            for c in counters:
+                for index, part in c["states"].items():
+                    per_index.setdefault(index, []).append(part)
+            merge = _MERGERS[kind]
+            for index in sorted(per_index):
+                state, records = merge(per_index[index])
+                lo, hi = window_set.windows.bounds(index)
+                if watermark is not None and hi <= watermark:
+                    if kind == "capture":
+                        _add_stats(global_stats, state["stats"])
+                        _fold_capture_aggregates(sketches, state)
+                    elif kind == "isp":
+                        engine.isp_bytes_closed += math.fsum(
+                            state["victims"].values()
+                        )
+                        _fold_isp_aggregates(sketches, state)
+                    summary = window_set._finalize(index, lo, hi, state, records)
+                    window_set.closed[index] = summary
+                    if synced is not None and hi <= synced:
+                        # Every block is past this window: the merged
+                        # summary is immutable.  Memoize it, move its
+                        # folds into the persistent base, free the
+                        # per-block states.
+                        memo[index] = summary
+                        if kind == "capture":
+                            _add_stats(self._base_stats, state["stats"])
+                            _fold_capture_aggregates(self._base_sketches, state)
+                        elif kind == "isp":
+                            self._base_isp_bytes += math.fsum(
+                                state["victims"].values()
+                            )
+                            _fold_isp_aggregates(self._base_sketches, state)
+                        self._note_drop(kind, index)
+                else:
+                    window = _OpenWindow(state)
+                    window.records = records
+                    window_set.open[index] = window
+        engine.global_stats = global_stats
+        engine.sketches = sketches
+        if self._closed:
+            # Close the merged leftovers through the engine's own
+            # close-time hooks — the same folds, continuing in window
+            # order.
+            engine.close()
+        return engine
+
+    def merged(self):
+        """The reduced engine for the current generation (cached until
+        the next applied record / barrier / close)."""
+        cached = self._merged_cache
+        if cached is not None and cached[0] == self.generation:
+            return cached[1]
+        engine = self._reduce()
+        self._merged_cache = (self.generation, engine)
+        return engine
+
+    # -- the engine surface (delegated to the reduction) --------------------
+
+    @property
+    def max_event_t(self):
+        return self._max_t
+
+    @property
+    def watermark(self):
+        if self._max_t is None:
+            return None
+        return self._max_t - self.skew
+
+    @property
+    def balanced(self):
+        return self.merged().balanced
+
+    def query(self, name, **params):
+        return self.merged().query(name, **params)
+
+    def query_parse_stats(self):
+        return self.merged().query_parse_stats()
+
+    def query_ingest(self):
+        return self.merged().query_ingest()
+
+    def snapshot(self):
+        return self.merged().snapshot()

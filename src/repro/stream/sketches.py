@@ -10,20 +10,31 @@ the conformance harness can check against batch ground truth —
   ``depth = ceil(ln(1/delta))``);
 * :class:`SpaceSavingTopK` tracks at most ``capacity`` keys and reports a
   per-key over-estimate ``error``; any key whose true weight exceeds
-  ``total_weight / capacity`` is guaranteed to be tracked.
+  ``total_weight / capacity`` is guaranteed present.
 
 Both merge: ``merge(a, b)`` is commutative and keeps the bounds additive
 (the property tests in ``tests/test_stream_properties.py`` pin this).
 Hashing is deterministic (BLAKE2b with a per-row salt) so two engines fed
 the same stream agree byte-for-byte — the same determinism contract the
 batch pipeline holds at any ``--jobs``.
+
+The count-min cell matrix is a NumPy array rather than nested lists so
+the sharded reduction path can fold sixteen per-block sketches per query
+generation at array-add speed; integer-weight sketches stay ``int64``
+(exact cell sums), and the first float weight promotes the matrix to
+``float64`` — cell adds are then subject to float rounding like any
+float accumulator, which is why only the byte-volume sketch carries
+float weights and its conformance check a relative tolerance.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
 import math
 import struct
+
+import numpy as np
 
 __all__ = ["CountMinSketch", "SpaceSavingTopK"]
 
@@ -36,6 +47,23 @@ def _hash_row(key, salt):
         _KEY_PACK.pack(int(key)), digest_size=8, salt=salt
     ).digest()
     return int.from_bytes(digest, "big")
+
+
+#: Memoized per-key cell columns, shared across sketches of the same
+#: geometry: the BLAKE2b row hashes of a key are pure functions of
+#: ``(key, width, depth)``, and the serving path re-touches the same IPs
+#: every window close, so caching turns the dominant sketch cost (five
+#: hashes per add) into one dict lookup.  Bounded by the number of
+#: distinct keys the process ever sketches.
+_CELL_CACHE = {}
+
+
+def _cells_for(key, width, depth, salts):
+    cached = _CELL_CACHE.get((key, width, depth))
+    if cached is None:
+        cached = tuple(_hash_row(key, salts[d]) % width for d in range(depth))
+        _CELL_CACHE[(key, width, depth)] = cached
+    return cached
 
 
 class CountMinSketch:
@@ -55,23 +83,65 @@ class CountMinSketch:
         self.delta = float(delta)
         self.width = max(1, math.ceil(math.e / epsilon))
         self.depth = max(1, math.ceil(math.log(1.0 / delta)))
-        self.rows = [[0] * self.width for _ in range(self.depth)]
+        self.rows = np.zeros((self.depth, self.width), dtype=np.int64)
         self.total = 0
         self._salts = [b"cms-row-%02d" % d for d in range(self.depth)]
 
     def _cells(self, key):
+        cols = _cells_for(int(key), self.width, self.depth, self._salts)
         for d in range(self.depth):
-            yield d, _hash_row(key, self._salts[d]) % self.width
+            yield d, cols[d]
 
     def add(self, key, weight=1):
         if weight < 0:
             raise ValueError("count-min supports non-negative weights only")
-        for d, c in self._cells(key):
-            self.rows[d][c] += weight
+        if isinstance(weight, float) and self.rows.dtype != np.float64:
+            self.rows = self.rows.astype(np.float64)
+        cols = _cells_for(int(key), self.width, self.depth, self._salts)
+        for d in range(self.depth):
+            self.rows[d, cols[d]] += weight
         self.total += weight
 
+    def add_many(self, keys, weights):
+        """Vectorized :meth:`add` over parallel sequences.
+
+        Equivalent to ``for k, w in zip(keys, weights): add(k, w)`` —
+        cell sums are order-free for ints, and the float path accumulates
+        via ``np.add.at`` in sequence order — but pays the row update as
+        one scatter-add per row instead of one Python loop per key.
+        """
+        if not keys:
+            return
+        width, depth, salts = self.width, self.depth, self._salts
+        cols = np.array(
+            [_cells_for(int(k), width, depth, salts) for k in keys], dtype=np.int64
+        )
+        w = np.asarray(weights)
+        if w.min() < 0:
+            raise ValueError("count-min supports non-negative weights only")
+        if w.dtype.kind == "f" and self.rows.dtype != np.float64:
+            self.rows = self.rows.astype(np.float64)
+        for d in range(depth):
+            np.add.at(self.rows[d], cols[:, d], w)
+        total = w.sum()
+        self.total += total.item() if w.dtype.kind == "f" else int(total)
+
     def estimate(self, key):
-        return min(self.rows[d][c] for d, c in self._cells(key))
+        cols = _cells_for(int(key), self.width, self.depth, self._salts)
+        return min(self.rows[d, cols[d]] for d in range(self.depth)).item()
+
+    def estimate_many(self, keys):
+        """Vectorized :meth:`estimate`: one gather + row-min for all
+        ``keys`` (the top-query render asks for every ranked key)."""
+        keys = list(keys)
+        if not keys:
+            return []
+        width, depth, salts = self.width, self.depth, self._salts
+        cols = np.array(
+            [_cells_for(int(k), width, depth, salts) for k in keys], dtype=np.int64
+        )
+        vals = self.rows[np.arange(depth), cols]
+        return vals.min(axis=1).tolist()
 
     def error_bound(self):
         """The declared additive over-count ceiling at the current total."""
@@ -90,18 +160,21 @@ class CountMinSketch:
         if not self.compatible_with(other):
             raise ValueError("cannot merge count-min sketches of different geometry")
         out = CountMinSketch(self.epsilon, self.delta)
-        out.rows = [
-            [a + b for a, b in zip(row_a, row_b)]
-            for row_a, row_b in zip(self.rows, other.rows)
-        ]
+        out.rows = self.rows + other.rows
         out.total = self.total + other.total
+        return out
+
+    def copy(self):
+        out = CountMinSketch(self.epsilon, self.delta)
+        out.rows = self.rows.copy()
+        out.total = self.total
         return out
 
     def __eq__(self, other):
         return (
             self.compatible_with(other)
             and self.total == other.total
-            and self.rows == other.rows
+            and bool(np.array_equal(self.rows, other.rows))
         )
 
     def as_dict(self):
@@ -114,6 +187,15 @@ class CountMinSketch:
             "error_bound": self.error_bound(),
         }
 
+    def __getstate__(self):
+        return (self.epsilon, self.delta, self.rows, self.total)
+
+    def __setstate__(self, state):
+        epsilon, delta, rows, total = state
+        self.__init__(epsilon, delta)
+        self.rows = rows
+        self.total = total
+
 
 class SpaceSavingTopK:
     """Metwally et al.'s space-saving heavy hitters over integer keys.
@@ -125,7 +207,7 @@ class SpaceSavingTopK:
     ``(count, -key)`` so equal streams produce equal summaries.
     """
 
-    __slots__ = ("capacity", "counters", "errors", "total")
+    __slots__ = ("capacity", "counters", "errors", "total", "_heap")
 
     def __init__(self, capacity=64):
         if capacity < 1:
@@ -134,29 +216,93 @@ class SpaceSavingTopK:
         self.counters = {}
         self.errors = {}
         self.total = 0
+        # Lazy min-heap of (count, -key, key): entries go stale when a
+        # counter is bumped or evicted and are discarded on pop, so
+        # finding the eviction victim is O(log n) amortized instead of a
+        # linear scan of every counter per eviction.
+        self._heap = []
+
+    def _rebuild_heap(self):
+        self._heap = [(c, -k, k) for k, c in self.counters.items()]
+        heapq.heapify(self._heap)
 
     def _weakest(self):
-        """The tracked key cheapest to evict (deterministic tie-break)."""
-        return min(self.counters, key=lambda k: (self.counters[k], -k))
+        """The tracked key cheapest to evict (deterministic tie-break:
+        min by ``(count, -key)``, exactly the heap order)."""
+        heap, counters = self._heap, self.counters
+        while heap:
+            count, _nk, key = heap[0]
+            if counters.get(key) == count:
+                return key
+            heapq.heappop(heap)
+        self._rebuild_heap()
+        return self._heap[0][2]
 
     def add(self, key, weight=1):
         if weight < 0:
             raise ValueError("space-saving supports non-negative weights only")
         key = int(key)
         self.total += weight
-        if key in self.counters:
-            self.counters[key] += weight
+        counters = self.counters
+        if key in counters:
+            count = counters[key] + weight
+            counters[key] = count
+            heapq.heappush(self._heap, (count, -key, key))
             return
-        if len(self.counters) < self.capacity:
-            self.counters[key] = weight
+        if len(counters) < self.capacity:
+            counters[key] = weight
             self.errors[key] = 0
+            heapq.heappush(self._heap, (weight, -key, key))
             return
         victim = self._weakest()
-        floor = self.counters.pop(victim)
+        floor = counters.pop(victim)
         self.errors.pop(victim)
         # The newcomer inherits the evicted counter as its over-estimate.
-        self.counters[key] = floor + weight
+        counters[key] = floor + weight
         self.errors[key] = floor
+        heapq.heappush(self._heap, (floor + weight, -key, key))
+        if len(self._heap) > 8 * self.capacity:
+            self._rebuild_heap()
+
+    def add_many(self, keys, weights):
+        """Sequence-equivalent to ``for k, w in zip(keys, weights):
+        add(k, w)`` — same evictions in the same order — with the
+        attribute and method churn hoisted out of the loop.  This is the
+        window-close fold path, which adds a whole window's per-key
+        totals at once."""
+        counters = self.counters
+        errors = self.errors
+        heap = self._heap
+        capacity = self.capacity
+        push = heapq.heappush
+        total = 0
+        for key, weight in zip(keys, weights):
+            if weight < 0:
+                raise ValueError("space-saving supports non-negative weights only")
+            key = int(key)
+            total += weight
+            count = counters.get(key)
+            if count is not None:
+                count += weight
+                counters[key] = count
+                push(heap, (count, -key, key))
+                continue
+            if len(counters) < capacity:
+                counters[key] = weight
+                errors[key] = 0
+                push(heap, (weight, -key, key))
+                continue
+            victim = self._weakest()
+            heap = self._heap  # _weakest may have rebuilt it
+            floor = counters.pop(victim)
+            errors.pop(victim)
+            counters[key] = floor + weight
+            errors[key] = floor
+            push(heap, (floor + weight, -key, key))
+            if len(heap) > 8 * capacity:
+                self._rebuild_heap()
+                heap = self._heap
+        self.total += total
 
     def top(self, n=None):
         """``[(key, count, error)]`` descending by count (ties: lower key
@@ -208,6 +354,15 @@ class SpaceSavingTopK:
         keep = sorted(merged_counts, key=lambda k: (-merged_counts[k], k))[: self.capacity]
         out.counters = {k: merged_counts[k] for k in keep}
         out.errors = {k: merged_errors[k] for k in keep}
+        out._rebuild_heap()
+        return out
+
+    def copy(self):
+        out = SpaceSavingTopK(self.capacity)
+        out.counters = dict(self.counters)
+        out.errors = dict(self.errors)
+        out.total = self.total
+        out._heap = list(self._heap)
         return out
 
     def __eq__(self, other):

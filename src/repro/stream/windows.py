@@ -10,11 +10,20 @@ every window's raw state.
 Accounting mirrors the :class:`~repro.analysis.monlist_parse.ParseStats`
 discipline: a record is never silently skipped.  Every offered record
 lands in exactly one of four ledgers — ``applied``, ``late`` (its window
-already closed under the watermark), ``duplicate`` (same uid seen in the
+ended at or before the watermark), ``duplicate`` (same uid seen in the
 same open window), or ``early_buffered`` is deliberately *not* a state
 (tumbling windows accept any future time; there is no out-of-range) —
 and ``total == applied + late + duplicate`` is an engine invariant the
 tests and the conformance harness both assert.
+
+Lateness is defined by the watermark alone, not by whether the window
+ever held state: a record whose window end the watermark has already
+passed is late even when no earlier record opened that window.  The
+distinction only matters for out-of-order streams, and it is what makes
+the sharded ingest mode's per-block ledgers sum to the single-engine
+ledger record for record — a block that never saw a window's earlier
+records must still refuse its stragglers exactly as the whole-stream
+engine would.
 """
 
 from __future__ import annotations
@@ -44,11 +53,11 @@ class TumblingWindows:
         containment property the window tests pin exactly.
         """
         t = float(t)
-        index = math.floor((t - self.origin) / self.width)
-        lo, hi = self.bounds(index)
-        if t < lo:
+        origin, width = self.origin, self.width
+        index = math.floor((t - origin) / width)
+        if t < origin + index * width:
             index -= 1
-        elif t >= hi:
+        elif t >= origin + (index + 1) * width:
             index += 1
         return index
 
@@ -88,13 +97,13 @@ class WindowSet:
     was accounted as late/duplicate instead.
     """
 
-    __slots__ = ("windows", "_factory", "_finalize", "_on_close", "open", "closed", "total", "applied", "late", "duplicate", "late_uids")
+    __slots__ = ("windows", "_factory", "_finalize", "_on_close", "open", "closed", "closed_states", "keep_state", "total", "applied", "late", "duplicate", "late_uids", "_next_close", "_closed_rows", "_open_summaries")
 
     #: How many late-record uids to retain verbatim for forensics (the
     #: counters are complete either way).
     LATE_UID_KEEP = 32
 
-    def __init__(self, width, origin=0.0, state_factory=dict, finalize=None, on_close=None):
+    def __init__(self, width, origin=0.0, state_factory=dict, finalize=None, on_close=None, keep_state=False):
         self.windows = TumblingWindows(width, origin=origin)
         self._factory = state_factory
         # finalize must be PURE: summaries() also runs it on still-open
@@ -104,27 +113,53 @@ class WindowSet:
         self._on_close = on_close
         self.open = {}
         self.closed = {}
+        # Sharded block engines keep the raw mergeable state of closed
+        # windows (keep_state=True) so the query-time reduction can union
+        # per-block states losslessly; the single-engine default frees
+        # state at close, preserving the per-window memory contract.
+        self.keep_state = bool(keep_state)
+        self.closed_states = {}
         self.total = 0
         self.applied = 0
         self.late = 0
         self.duplicate = 0
         self.late_uids = []
+        # Advance fast path: the earliest open-window end, so the per-
+        # record watermark sweep is one comparison when nothing closes.
+        # None means "unknown — scan"; scanning an empty set yields inf.
+        self._next_close = None
+        # Read-side memoization: closed windows are immutable, so their
+        # summary rows are built once; an open window's summary is reused
+        # until another record lands in it (its ``records`` count moves).
+        self._closed_rows = None
+        self._open_summaries = {}
 
     # -- ingest ------------------------------------------------------------
 
     def offer(self, t, uid, watermark):
         """Account one record; return its window state iff it applies."""
+        return self.offer_at(self.windows.index_of(t), uid, watermark)
+
+    def offer_at(self, index, uid, watermark):
+        """:meth:`offer` with the window index already computed (the
+        engine reuses the index for capture-buffer bookkeeping)."""
         self.total += 1
-        index = self.windows.index_of(t)
-        if index in self.closed:
-            self.late += 1
-            if len(self.late_uids) < self.LATE_UID_KEEP:
-                self.late_uids.append(uid)
-            return None
         window = self.open.get(index)
         if window is None:
+            w = self.windows
+            if index in self.closed or (
+                watermark is not None
+                and w.origin + (index + 1) * w.width <= watermark
+            ):
+                self.late += 1
+                if len(self.late_uids) < self.LATE_UID_KEEP:
+                    self.late_uids.append(uid)
+                return None
             window = _OpenWindow(self._factory())
             self.open[index] = window
+            hi = w.origin + (index + 1) * w.width
+            if self._next_close is not None and hi < self._next_close:
+                self._next_close = hi
         if uid is not None:
             if uid in window.seen:
                 self.duplicate += 1
@@ -135,24 +170,41 @@ class WindowSet:
         return window.state
 
     def advance(self, watermark):
-        """Close every open window whose end the watermark has passed."""
+        """Close every open window whose end the watermark has passed.
+
+        One comparison against the cached earliest open end in the
+        common nothing-to-close case — this runs on every watermark
+        move, i.e. nearly every record of a time-sorted stream.
+        """
+        nxt = self._next_close
+        if nxt is not None and watermark < nxt:
+            return
+        nxt = math.inf
         for index in sorted(self.open):
             lo, hi = self.windows.bounds(index)
             if watermark < hi:
+                if hi < nxt:
+                    nxt = hi
                 continue
             self._close(index, lo, hi)
+        self._next_close = nxt
 
     def close_all(self):
         """End of stream: finalize everything still open."""
         for index in sorted(self.open):
             lo, hi = self.windows.bounds(index)
             self._close(index, lo, hi)
+        self._next_close = math.inf
 
     def _close(self, index, lo, hi):
         window = self.open.pop(index)
         if self._on_close is not None:
             self._on_close(window.state)
         self.closed[index] = self._finalize(index, lo, hi, window.state, window.records)
+        self._closed_rows = None
+        self._open_summaries.pop(index, None)
+        if self.keep_state:
+            self.closed_states[index] = (window.state, window.records)
 
     # -- views -------------------------------------------------------------
 
@@ -163,17 +215,26 @@ class WindowSet:
         a *copy*-free read — the mid-window answer the service serves —
         without mutating or closing them.
         """
-        out = []
-        for index in sorted(self.closed):
-            lo, hi = self.windows.bounds(index)
-            out.append((index, lo, hi, self.closed[index], False))
-        if include_open:
-            for index in sorted(self.open):
+        rows = self._closed_rows
+        if rows is None or len(rows) != len(self.closed):
+            rows = []
+            for index in sorted(self.closed):
                 lo, hi = self.windows.bounds(index)
+                rows.append((index, lo, hi, self.closed[index], False))
+            self._closed_rows = rows
+        out = list(rows)
+        if include_open:
+            memo = self._open_summaries
+            for index in sorted(self.open):
                 window = self.open[index]
-                out.append(
-                    (index, lo, hi, self._finalize(index, lo, hi, window.state, window.records), True)
-                )
+                cached = memo.get(index)
+                if cached is not None and cached[0] == window.records:
+                    out.append(cached[1])
+                    continue
+                lo, hi = self.windows.bounds(index)
+                row = (index, lo, hi, self._finalize(index, lo, hi, window.state, window.records), True)
+                memo[index] = (window.records, row)
+                out.append(row)
         return out
 
     def accounting(self):

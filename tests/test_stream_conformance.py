@@ -125,7 +125,7 @@ def test_mid_window_answers_without_reparse(records):
     world = records[(7, 0.0003, "clean")].world
     plan = replay_plan(world)
     engine = StreamEngine.for_world(world, plan=plan)
-    stream = replay_records(world)
+    stream = iter(replay_records(world))
     half = plan["expected_total"] // 2
     for _ in range(half):
         engine.ingest(next(stream))

@@ -151,6 +151,162 @@ def test_queries_after_ingest_completion_match_direct_engine(small_world):
 
 
 # ---------------------------------------------------------------------------
+# Response cache: versioned, never stale
+# ---------------------------------------------------------------------------
+
+
+def _fresh_render(service, target):
+    status, body = service._route(target)
+    return status, json.dumps(body, separators=(",", ":")).encode()
+
+
+def test_response_cache_hits_are_byte_identical_and_never_stale(small_world):
+    from repro.stream import StreamEngine
+
+    engine = StreamEngine.for_world(small_world, plan=replay_plan(small_world))
+    records = list(replay_records(small_world))
+    service = StreamService(engine, iter(()))
+    mid = len(records) // 2
+
+    engine.ingest_many(records[:mid])
+    status_a, body_a = service._response_for("/query/victims")
+    assert (status_a, body_a) == _fresh_render(service, "/query/victims")
+    assert service.cache_misses == 1 and service.cache_hits == 0
+    # Unchanged engine: served from cache, byte-identical.
+    status_b, body_b = service._response_for("/query/victims")
+    assert (status_b, body_b) == (status_a, body_a)
+    assert service.cache_hits == 1
+
+    # Every applied batch moves the generation: the entry is stale and
+    # must be re-rendered against the new state — including across the
+    # window closes the second half and close() perform.
+    engine.ingest_many(records[mid:])
+    engine.close()
+    status_c, body_c = service._response_for("/query/victims")
+    assert service.cache_misses == 2
+    assert (status_c, body_c) == _fresh_render(service, "/query/victims")
+    assert body_c != body_a
+
+
+def test_sketch_backed_tops_survive_darknet_only_batches(small_world):
+    from repro.stream import StreamEngine, StreamRecord
+
+    engine = StreamEngine.for_world(small_world, plan=replay_plan(small_world))
+    records = list(replay_records(small_world))
+    service = StreamService(engine, iter(()))
+    engine.ingest_many(records[: len(records) // 2])
+
+    service._response_for("/query/top_victims?n=5")
+    service._response_for("/query/ingest")
+    hits, misses = service.cache_hits, service.cache_misses
+
+    # A darknet-only record at the stream head: generation moves (so the
+    # accounting query re-renders) but no capture state is touched (so
+    # the capture-keyed top stays cached).
+    engine.ingest(
+        StreamRecord(
+            t=engine.max_event_t, kind="darknet", uid=("dk", -1, 1), payload=7
+        )
+    )
+    status, body = service._response_for("/query/top_victims?n=5")
+    assert service.cache_hits == hits + 1
+    assert (status, body) == _fresh_render(service, "/query/top_victims?n=5")
+    service._response_for("/query/ingest")
+    assert service.cache_misses == misses + 1
+
+
+# ---------------------------------------------------------------------------
+# Keep-alive: connection reuse, opt-out, HTTP/1.0 close
+# ---------------------------------------------------------------------------
+
+
+async def _raw_exchange(reader, writer, target, version="HTTP/1.1", headers=""):
+    writer.write(f"GET {target} {version}\r\n{headers}\r\n".encode())
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    length = next(
+        int(line.split(b":", 1)[1])
+        for line in head.split(b"\r\n")
+        if line.lower().startswith(b"content-length:")
+    )
+    body = await reader.readexactly(length)
+    return head, json.loads(body)
+
+
+def test_keepalive_connection_serves_many_requests(small_world):
+    async def exercise():
+        service, _plan = _service_for(small_world)
+        await service.start()
+        reader, writer = await asyncio.open_connection(service.host, service.port)
+        bodies = []
+        for _ in range(3):
+            head, body = await _raw_exchange(reader, writer, "/health")
+            assert b"Connection: keep-alive" in head
+            bodies.append(body)
+        writer.close()
+        await writer.wait_closed()
+        opened, served = service.connections_opened, service.requests_served
+        service.request_shutdown()
+        await service.stop()
+        return bodies, opened, served
+
+    bodies, opened, served = asyncio.run(exercise())
+    assert all(body["ok"] is True for body in bodies)
+    # The reuse satellite's point: one connection, many requests.
+    assert opened == 1 and served == 3
+
+
+def test_no_keepalive_service_closes_after_each_response(small_world):
+    async def exercise():
+        service, _plan = _service_for(small_world, keepalive=False)
+        await service.start()
+        reader, writer = await asyncio.open_connection(service.host, service.port)
+        head, body = await _raw_exchange(reader, writer, "/health")
+        trailing = await reader.read()  # server closes: EOF after the body
+        writer.close()
+        await writer.wait_closed()
+        service.request_shutdown()
+        await service.stop()
+        return head, body, trailing
+
+    head, body, trailing = asyncio.run(exercise())
+    assert b"Connection: close" in head
+    assert body["ok"] is True
+    assert trailing == b""
+
+
+def test_http10_client_without_keepalive_header_gets_closed(small_world):
+    async def exercise():
+        service, _plan = _service_for(small_world)
+        await service.start()
+        reader, writer = await asyncio.open_connection(service.host, service.port)
+        head, body = await _raw_exchange(reader, writer, "/health", version="HTTP/1.0")
+        trailing = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        service.request_shutdown()
+        await service.stop()
+        return head, body, trailing
+
+    head, body, trailing = asyncio.run(exercise())
+    assert b"Connection: close" in head
+    assert body["ok"] is True
+    assert trailing == b""
+
+
+def test_loadgen_reports_connection_reuse(small_world):
+    from repro.stream import run_loadgen
+
+    kept = run_loadgen(small_world, clients=2, requests=4, batch=64)
+    assert kept["keepalive"] is True
+    assert kept["connections"]["opened_by_clients"] < kept["requests_total"]
+    assert kept["response_cache"]["hits"] + kept["response_cache"]["misses"] > 0
+    unkept = run_loadgen(small_world, clients=2, requests=4, batch=64, keepalive=False)
+    assert unkept["keepalive"] is False
+    assert unkept["connections"]["opened_by_clients"] >= unkept["requests_total"]
+
+
+# ---------------------------------------------------------------------------
 # Subprocess: the real CLI, SIGTERM drain, no orphans
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,305 @@
+"""Sharded stream ingestion: partition-then-merge equals one engine.
+
+Two layers, mirroring ``tests/test_build_shards.py`` for the serving
+side:
+
+* Hypothesis properties over the shared ``tests/strategies.py`` domains —
+  routing a stream over N blocks with the tagged-watermark protocol and
+  summing the per-block ledgers/window aggregates reproduces the single
+  ledger exactly, and partitioned sketch folds merge back to the
+  unpartitioned sketches;
+* a real small world — every query answer of the sharded engine is
+  byte-identical (as served JSON) at ``--shards`` 1, 2, and 4, in-process
+  and fork mode, and ``ingest_many`` matches per-record ``ingest`` on an
+  adversarially reordered replay (the promise its docstring makes).
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scenario.world import PaperWorld
+from repro.stream import (
+    STREAM_BLOCKS,
+    BlockRouter,
+    ShardedStream,
+    StreamEngine,
+    replay_plan,
+    replay_records,
+)
+from repro.stream.partition import _mix64
+from repro.stream.sketches import CountMinSketch, SpaceSavingTopK
+from repro.stream.windows import WindowSet
+from tests.strategies import record_streams, sketch_streams
+
+SCALE = 0.0002
+SEED = 7
+
+shard_counts = st.integers(min_value=1, max_value=5)
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return PaperWorld.build(seed=SEED, scale=SCALE)
+
+
+# ---------------------------------------------------------------------------
+# Properties: ledgers and window aggregates are partition-invariant
+# ---------------------------------------------------------------------------
+
+
+def _state_factory():
+    # "n" stands in for any additive count, "sum" for any per-window
+    # aggregate a capture's ParseStats contributes.
+    return {"n": 0, "sum": 0}
+
+
+def _drive_single(arrivals, skew, width=7200.0):
+    ws = WindowSet(width, state_factory=_state_factory)
+    max_t = None
+    for t, _kind, key, uid in arrivals:
+        max_t = t if max_t is None else max(max_t, t)
+        watermark = max_t - skew
+        state = ws.offer(t, uid, watermark)
+        if state is not None:
+            state["n"] += 1
+            state["sum"] += key
+        ws.advance(watermark)
+    ws.close_all()
+    return ws
+
+
+def _drive_partitioned(arrivals, skew, shards, width=7200.0):
+    """The tagged protocol: each record's owning block first advances to
+    the whole-stream watermark, then offers — exactly what
+    ``StreamEngine.ingest_tagged`` does per block."""
+    blocks = [WindowSet(width, state_factory=_state_factory) for _ in range(shards)]
+    max_t = None
+    for t, _kind, key, uid in arrivals:
+        pre_max = max_t
+        max_t = t if max_t is None else max(max_t, t)
+        watermark = max_t - skew
+        ws = blocks[_mix64(key) % shards]
+        if pre_max is not None:
+            # The tagged pre-advance: close everything the whole stream's
+            # watermark had already passed before this record, so the
+            # block classifies it exactly as the single engine did.
+            ws.advance(pre_max - skew)
+        state = ws.offer(t, uid, watermark)
+        if state is not None:
+            state["n"] += 1
+            state["sum"] += key
+        ws.advance(watermark)
+    for ws in blocks:
+        ws.close_all()
+    return blocks
+
+
+@given(record_streams(), shard_counts)
+def test_partitioned_ledgers_sum_to_the_single_ledger(stream, shards):
+    arrivals, skew = stream
+    single = _drive_single(arrivals, skew)
+    blocks = _drive_partitioned(arrivals, skew, shards)
+    for field in ("total", "applied", "late", "duplicate"):
+        assert sum(getattr(ws, field) for ws in blocks) == getattr(single, field)
+    assert all(ws.balanced for ws in blocks)
+
+
+@given(record_streams(), shard_counts)
+def test_partitioned_window_aggregates_merge_losslessly(stream, shards):
+    arrivals, skew = stream
+    single = _drive_single(arrivals, skew)
+    blocks = _drive_partitioned(arrivals, skew, shards)
+    merged = {}
+    for ws in blocks:
+        for index, summary in ws.closed.items():
+            into = merged.setdefault(index, {"n": 0, "sum": 0})
+            into["n"] += summary["n"]
+            into["sum"] += summary["sum"]
+    # Blocks may close empty windows the single engine never opened
+    # (a block that saw no record of a window has nothing to report).
+    merged = {i: s for i, s in merged.items() if s["n"]}
+    expected = {i: s for i, s in single.closed.items() if s["n"]}
+    assert merged == expected
+
+
+# ---------------------------------------------------------------------------
+# Properties: sketches are partition-invariant
+# ---------------------------------------------------------------------------
+
+
+@given(sketch_streams, shard_counts)
+def test_count_min_partition_then_merge_is_exact(stream, shards):
+    whole = CountMinSketch()
+    parts = [CountMinSketch() for _ in range(shards)]
+    for key, weight in stream:
+        whole.add(key, weight)
+        parts[_mix64(key) % shards].add(key, weight)
+    merged = parts[0]
+    for part in parts[1:]:
+        merged = merged.merge(part)
+    assert merged == whole
+
+
+@given(sketch_streams, shard_counts)
+def test_space_saving_partitioned_fold_matches_single_fold(stream, shards):
+    """The reducer's contract: blocks never fold into the (order
+    sensitive) top-K themselves; the merged exact totals are folded in
+    sorted-key order, which must equal the single engine's fold of the
+    same totals."""
+    totals = {}
+    parts = [{} for _ in range(shards)]
+    for key, weight in stream:
+        totals[key] = totals.get(key, 0) + weight
+        block = parts[_mix64(key) % shards]
+        block[key] = block.get(key, 0) + weight
+    merged_totals = {}
+    for block in parts:
+        for key, weight in block.items():
+            merged_totals[key] = merged_totals.get(key, 0) + weight
+    single = SpaceSavingTopK(capacity=8)
+    sharded = SpaceSavingTopK(capacity=8)
+    for key in sorted(totals):
+        single.add(key, totals[key])
+    for key in sorted(merged_totals):
+        sharded.add(key, merged_totals[key])
+    assert sharded == single
+
+
+# ---------------------------------------------------------------------------
+# Router: deterministic, total, in range
+# ---------------------------------------------------------------------------
+
+
+def test_router_is_deterministic_and_total(small_world):
+    router_a = BlockRouter()
+    router_b = BlockRouter()
+    seen_blocks = set()
+    for record in replay_records(small_world):
+        block = router_a.block_of(record)
+        assert block == router_b.block_of(record)
+        assert 0 <= block < STREAM_BLOCKS
+        seen_blocks.add(block)
+    # The mixer must actually spread the stream, not funnel it.
+    assert len(seen_blocks) > STREAM_BLOCKS // 2
+
+
+# ---------------------------------------------------------------------------
+# Real world: byte-identical answers at any shard count
+# ---------------------------------------------------------------------------
+
+_COMPARED_QUERIES = (
+    "victims",
+    "amplifiers",
+    "scanners",
+    "traffic",
+    "top_victims",
+    "top_amplifiers",
+    "top_ases",
+    "top_isp_victims",
+    "parse_stats",
+    "ingest",
+)
+
+
+def _served_answers(engine):
+    """Every query answer as the service would serialize it."""
+    out = {}
+    for name in _COMPARED_QUERIES:
+        out[name] = json.dumps(engine.query(name), sort_keys=True)
+    out["snapshot"] = json.dumps(engine.snapshot(), sort_keys=True)
+    return out
+
+
+def _single_answers(world):
+    engine = StreamEngine.for_world(world, plan=replay_plan(world))
+    engine.ingest_many(replay_records(world))
+    engine.close()
+    return _served_answers(engine)
+
+
+def _sharded_answers(world, shards, force_fork=False):
+    sharded = ShardedStream.for_world(world, shards=shards, force_fork=force_fork)
+    try:
+        if sharded.drives_ingest:
+            while not sharded.ingest_step(1024):
+                pass
+        else:
+            sharded.ingest_many(replay_records(world))
+        sharded.close()
+        return _served_answers(sharded), sharded.pool_info
+    finally:
+        sharded.shutdown()
+
+
+def test_sharded_answers_byte_identical_at_1_2_4(small_world):
+    single = _single_answers(small_world)
+    for shards in (1, 2, 4):
+        answers, _info = _sharded_answers(small_world, shards)
+        assert answers == single, f"shards={shards}"
+
+
+def test_fork_mode_matches_in_process(small_world):
+    single = _single_answers(small_world)
+    answers, info = _sharded_answers(small_world, 2, force_fork=True)
+    assert info["mode"] == "fork"
+    assert answers == single
+
+
+def test_pool_gate_never_contradicts_cpu_count(small_world):
+    sharded = ShardedStream.for_world(small_world, shards=4)
+    try:
+        info = sharded.pool_info
+    finally:
+        sharded.shutdown()
+    assert info["requested"] == 4
+    assert info["blocks"] == STREAM_BLOCKS
+    if info["cpu_count"] <= 1:
+        assert not info["engaged"]
+        assert "single CPU" in info["reason"]
+    if info["engaged"]:
+        assert info["cpu_count"] > 1
+        assert info["reason"] is None
+
+
+# ---------------------------------------------------------------------------
+# ingest_many == ingest, record for record, on an adversarial stream
+# ---------------------------------------------------------------------------
+
+
+def _adversarial_replay(world):
+    """The ordered replay, roughed up: every 7th record displaced later
+    (some land inside the skew, some genuinely late) and every 31st
+    redelivered — the stream shape the run-batching fast paths must
+    refuse to take."""
+    records = list(replay_records(world))
+    displaced = []
+    held = []
+    for i, record in enumerate(records):
+        if i % 7 == 3:
+            held.append(record)
+            if len(held) >= 5:
+                displaced.extend(held)
+                held.clear()
+        else:
+            displaced.append(record)
+        if i % 31 == 17 and displaced:
+            displaced.append(displaced[-1])
+    displaced.extend(held)
+    return displaced
+
+
+@pytest.mark.parametrize("skew", [0.0, 3600.0, 2 * 86400.0])
+def test_ingest_many_matches_per_record_ingest(small_world, skew):
+    records = _adversarial_replay(small_world)
+    plan = replay_plan(small_world)
+    batched = StreamEngine.for_world(small_world, plan=plan, skew=skew)
+    batched.ingest_many(records)
+    batched.close()
+    one_by_one = StreamEngine.for_world(small_world, plan=plan, skew=skew)
+    for record in records:
+        one_by_one.ingest(record)
+    one_by_one.close()
+    assert _served_answers(batched) == _served_answers(one_by_one)
